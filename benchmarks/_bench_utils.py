@@ -1,0 +1,36 @@
+"""Helpers shared by the benchmark harness (imported by the benches)."""
+
+import os
+
+from repro.database import Database
+from repro.datasets import paper
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(artifact_id: str, text: str) -> None:
+    """Record one regenerated artifact (stdout + benchmarks/out/)."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    banner = f"==== {artifact_id} " + "=" * max(0, 60 - len(artifact_id))
+    print(f"\n{banner}\n{text}")
+    with open(os.path.join(OUT_DIR, f"{artifact_id}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def build_paper_db() -> Database:
+    """A database loaded with the paper's Tables 1-8 (both views)."""
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+    db.create_table(paper.REPORTS_SCHEMA)
+    db.insert_many("REPORTS", paper.REPORTS_ROWS)
+    for schema, value in [
+        (paper.DEPARTMENTS_1NF_SCHEMA, paper.departments_1nf()),
+        (paper.PROJECTS_1NF_SCHEMA, paper.projects_1nf()),
+        (paper.MEMBERS_1NF_SCHEMA, paper.members_1nf()),
+        (paper.EQUIP_1NF_SCHEMA, paper.equip_1nf()),
+        (paper.EMPLOYEES_1NF_SCHEMA, paper.employees_1nf()),
+    ]:
+        db.create_table(schema)
+        db.insert_many(schema.name, (row.to_plain() for row in value))
+    return db

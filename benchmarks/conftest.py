@@ -1,0 +1,18 @@
+"""Fixtures for the benchmark harness.
+
+Every ``test_repro_*`` benchmark regenerates one table or figure of the
+paper and writes its rendered output to ``benchmarks/out/<id>.txt`` (also
+printed; run pytest with ``-s`` to see it inline).  ``test_ablation_*``
+benchmarks measure the paper's comparative claims.  EXPERIMENTS.md
+summarizes paper-vs-measured for every artifact.
+"""
+
+import pytest
+
+from _bench_utils import build_paper_db
+from repro.database import Database
+
+
+@pytest.fixture(scope="module")
+def paper_db() -> Database:
+    return build_paper_db()

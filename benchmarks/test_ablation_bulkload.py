@@ -1,0 +1,90 @@
+"""Ablation A10 — bulk-load cost of the four storage organizations.
+
+Loading N departments into: AIM-II clustered complex objects, the flat 1NF
+decomposition, Lorie linked tuples, and the IMS hierarchic sequence.
+Clustering and Mini Directories are not free at load time; this measures
+what the paper's design pays up front for its retrieval wins (A1/A3/A6).
+"""
+
+import time
+
+from repro.baselines import FlatRelationalBaseline, LorieComplexObjects
+from repro.baselines.ims import IMSDatabase
+from repro.datasets import DepartmentsGenerator, paper
+from repro.model.values import TupleValue
+from repro.storage.buffer import BufferManager
+from repro.storage.complex_object import ComplexObjectManager
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+
+from _bench_utils import emit
+from test_ablation_navigational import ims_shape
+
+GEN = DepartmentsGenerator(departments=40, projects_per_department=4,
+                           members_per_project=8, equipment_per_department=4,
+                           seed=12)
+
+
+def load_nf2(rows):
+    buffer = BufferManager(MemoryPagedFile(), capacity=2048)
+    manager = ComplexObjectManager(Segment(buffer))
+    for row in rows:
+        manager.store(
+            paper.DEPARTMENTS_SCHEMA,
+            TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, row),
+        )
+    return buffer.stats
+
+
+def test_bulk_load(benchmark):
+    rows = GEN.rows()
+    timings = {}
+    pages = {}
+
+    start = time.perf_counter()
+    load_nf2(rows)
+    timings["AIM-II complex objects"] = time.perf_counter() - start
+    buffer = BufferManager(MemoryPagedFile(), capacity=2048)
+    manager = ComplexObjectManager(Segment(buffer))
+    for row in rows:
+        manager.store(paper.DEPARTMENTS_SCHEMA,
+                      TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, row))
+    pages["AIM-II complex objects"] = buffer._file.page_count
+
+    start = time.perf_counter()
+    flat = FlatRelationalBaseline(buffer_capacity=2048)
+    flat.load(rows)
+    timings["flat 1NF decomposition"] = time.perf_counter() - start
+    pages["flat 1NF decomposition"] = flat.total_pages
+
+    start = time.perf_counter()
+    lorie = LorieComplexObjects(buffer_capacity=2048)
+    lorie.load(rows)
+    timings["Lorie linked tuples"] = time.perf_counter() - start
+    pages["Lorie linked tuples"] = lorie.total_pages
+
+    start = time.perf_counter()
+    ims = IMSDatabase(buffer_capacity=2048)
+    ims.load(ims_shape(rows))
+    timings["IMS hierarchic sequence"] = time.perf_counter() - start
+    pages["IMS hierarchic sequence"] = ims._segment.page_count
+
+    tuples = sum(
+        1 + len(d["PROJECTS"]) + len(d["EQUIP"])
+        + sum(len(p["MEMBERS"]) for p in d["PROJECTS"])
+        for d in rows
+    )
+    lines = [
+        f"bulk load of {len(rows)} departments ({tuples} logical tuples):",
+        f"{'organization':>26} {'time (ms)':>10} {'pages':>6}",
+    ]
+    for name in timings:
+        lines.append(
+            f"{name:>26} {timings[name] * 1e3:>10.1f} {pages[name]:>6}"
+        )
+    lines.append(
+        "\nMini Directories cost load time; A1/A3/A6 show what that buys "
+        "on the read side."
+    )
+    emit("ablation_A10_bulkload", "\n".join(lines))
+    benchmark(load_nf2, rows)

@@ -1,0 +1,94 @@
+"""Ablation A1 — clustering on the complex-object level.
+
+Paper (Section 4.1): "it is rather important that all its data are stored
+on a relatively small page set and not distributed among too many database
+pages".  We store the same synthetic departments three ways — AIM-II
+clustered complex objects, the flat 1NF decomposition with index-nested-
+loop joins, and Lorie-style linked tuples — and compare the distinct pages
+touched (cold cache) to retrieve one whole object, plus wall-clock time.
+
+Expected shape: AIM-II touches a small constant page set; the two layered
+alternatives touch pages proportional to the object's fan-out spread.
+"""
+
+from repro.baselines import FlatRelationalBaseline, LorieComplexObjects
+from repro.datasets import DepartmentsGenerator, paper
+from repro.model.values import TupleValue
+from repro.storage.buffer import BufferManager
+from repro.storage.complex_object import ComplexObjectManager
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+
+from _bench_utils import emit
+
+WORKLOAD = DepartmentsGenerator(
+    departments=40, projects_per_department=5, members_per_project=12,
+    equipment_per_department=6, seed=21,
+)
+
+
+def build_all():
+    rows = WORKLOAD.rows()
+    buffer = BufferManager(MemoryPagedFile(), capacity=1024)
+    manager = ComplexObjectManager(Segment(buffer))
+    roots = {
+        row["DNO"]: manager.store(
+            paper.DEPARTMENTS_SCHEMA,
+            TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, row),
+        )
+        for row in rows
+    }
+    flat = FlatRelationalBaseline(buffer_capacity=1024)
+    flat.load(rows)
+    lorie = LorieComplexObjects(buffer_capacity=1024)
+    lorie.load(rows)
+    return rows, buffer, manager, roots, flat, lorie
+
+
+def test_whole_object_retrieval_pages(benchmark):
+    rows, buffer, manager, roots, flat, lorie = build_all()
+    probes = [rows[i]["DNO"] for i in (5, 20, 35)]
+
+    def nf2_pages(dno):
+        buffer.invalidate_cache()
+        buffer.stats.reset()
+        manager.load(roots[dno], paper.DEPARTMENTS_SCHEMA)
+        return len(buffer.stats.pages_touched)
+
+    measurements = []
+    for dno in probes:
+        measurements.append(
+            (dno, nf2_pages(dno), flat.pages_touched_for(dno),
+             lorie.pages_touched_for(dno))
+        )
+
+    # time the AIM-II whole-object retrieval
+    benchmark(lambda: manager.load(roots[probes[0]], paper.DEPARTMENTS_SCHEMA))
+
+    lines = [
+        "pages touched to retrieve one whole department (cold cache)",
+        f"{'DNO':>6} {'AIM-II':>8} {'flat join':>10} {'Lorie links':>12}",
+    ]
+    for dno, nf2, flat_pages, lorie_pages in measurements:
+        lines.append(f"{dno:>6} {nf2:>8} {flat_pages:>10} {lorie_pages:>12}")
+        assert nf2 < flat_pages, "clustered NF2 must beat the flat join"
+        assert nf2 < lorie_pages, "clustered NF2 must beat Lorie linking"
+    factor_flat = sum(m[2] for m in measurements) / sum(m[1] for m in measurements)
+    factor_lorie = sum(m[3] for m in measurements) / sum(m[1] for m in measurements)
+    lines.append(
+        f"\nAIM-II advantage: {factor_flat:.1f}x fewer pages than the flat "
+        f"join, {factor_lorie:.1f}x fewer than Lorie linking"
+    )
+    emit("ablation_A1_clustering", "\n".join(lines))
+
+
+def test_whole_object_retrieval_time_flat(benchmark):
+    rows, _buffer, _manager, _roots, flat, _lorie = build_all()
+    dno = rows[20]["DNO"]
+    benchmark(flat.retrieve, dno)
+
+
+def test_whole_object_retrieval_time_lorie(benchmark):
+    rows, _buffer, _manager, _roots, _flat, lorie = build_all()
+    dno = rows[20]["DNO"]
+    benchmark(lorie.retrieve, dno)

@@ -1,0 +1,101 @@
+"""Ablation A4 — Mini TIDs vs full TIDs (Section 4.1).
+
+Two claimed advantages, both measured:
+
+1. "Mini TIDs can be somewhat smaller than TIDs.  This saves storage
+   space in the Mini Directory" — we compare the encoded pointer sizes and
+   the resulting MD bytes per object.
+2. "When a complex object has to be moved ... this can easily be done at
+   the page level ... no changes are required for D and C pointers" — we
+   time the page-level relocation (copy_object) against a logical
+   re-store (delete + insert), which is what global pointers would force.
+"""
+
+from repro.datasets import DepartmentsGenerator, paper
+from repro.model.values import TupleValue
+from repro.storage.buffer import BufferManager
+from repro.storage.complex_object import ComplexObjectManager
+from repro.storage.constants import MINI_TID_SIZE, TID_SIZE
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+
+from _bench_utils import emit
+
+WORKLOAD = DepartmentsGenerator(
+    departments=1, projects_per_department=8, members_per_project=25,
+    equipment_per_department=10, seed=55,
+)
+
+
+def build():
+    buffer = BufferManager(MemoryPagedFile(), capacity=1024)
+    manager = ComplexObjectManager(Segment(buffer))
+    value = TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, WORKLOAD.rows()[0])
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, value)
+    return buffer, manager, root, value
+
+
+def count_pointers(manager, root):
+    obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+    total = 0
+
+    def visit(element):
+        nonlocal total
+        total += 1  # the D pointer to its data subtuple
+        for subtable in element.subtables:
+            if subtable.md is not None:
+                total += 1  # the C pointer to the subtable MD
+            for child in subtable.elements:
+                visit(child)
+
+    visit(obj.decoded)
+    return total
+
+
+def test_pointer_space_saving(benchmark):
+    buffer, manager, root, _value = build()
+    pointers = benchmark(count_pointers, manager, root)
+    stats = manager.statistics(root, paper.DEPARTMENTS_SCHEMA)
+    mini_bytes = pointers * MINI_TID_SIZE
+    full_bytes = pointers * TID_SIZE
+    saving = 100.0 * (full_bytes - mini_bytes) / full_bytes
+    lines = [
+        f"pointers in the object's Mini Directory: {pointers}",
+        f"encoded size: Mini TID = {MINI_TID_SIZE} bytes, TID = {TID_SIZE} bytes",
+        f"MD pointer bytes: {mini_bytes} (Mini TIDs) vs {full_bytes} (TIDs) "
+        f"-> {saving:.0f}% saved",
+        f"total MD bytes as stored: {stats['md_bytes']}",
+    ]
+    assert mini_bytes < full_bytes
+    emit("ablation_A4_pointer_space", "\n".join(lines))
+
+
+def test_relocation_page_level_vs_restore(benchmark):
+    import time
+
+    buffer, manager, root, value = build()
+
+    start = time.perf_counter()
+    for _ in range(20):
+        copy = manager.copy_object(root, paper.DEPARTMENTS_SCHEMA)
+        manager.delete(copy, paper.DEPARTMENTS_SCHEMA)
+    page_level = (time.perf_counter() - start) / 20
+
+    start = time.perf_counter()
+    for _ in range(20):
+        restored = manager.store(paper.DEPARTMENTS_SCHEMA, value)
+        manager.delete(restored, paper.DEPARTMENTS_SCHEMA)
+    logical = (time.perf_counter() - start) / 20
+
+    lines = [
+        "relocating (checking out) one large complex object:",
+        f"  page-level copy (page list rewritten only): {page_level * 1e3:7.2f} ms",
+        f"  logical re-store (every pointer rebuilt):   {logical * 1e3:7.2f} ms",
+        f"  speedup: {logical / page_level:.1f}x",
+    ]
+    assert page_level < logical
+    emit("ablation_A4_relocation", "\n".join(lines))
+    benchmark(lambda: manager.delete(
+        manager.copy_object(root, paper.DEPARTMENTS_SCHEMA),
+        paper.DEPARTMENTS_SCHEMA,
+    ))

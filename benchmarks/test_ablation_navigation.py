@@ -1,0 +1,81 @@
+"""Ablation A6 — separation of structural information and data.
+
+Paper (Section 4.1): "'navigation' in a complex object (e.g. to retrieve a
+certain element of a list) can be done on the structural information
+without having to access the data at all", and "it should not be necessary
+to scan a complex object more or less entirely if only one piece of data
+in that object is needed".
+
+We store one wide object whose data subtuples fill many pages and compare
+pages touched / time for (a) counting the elements of every subtable
+(pure structure), (b) reading one member's data, against (c) materializing
+the whole object.
+"""
+
+from repro.datasets import DepartmentsGenerator, paper
+from repro.model.values import TupleValue
+from repro.storage.buffer import BufferManager
+from repro.storage.complex_object import ComplexObjectManager
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+
+from _bench_utils import emit
+
+WORKLOAD = DepartmentsGenerator(
+    departments=1, projects_per_department=12, members_per_project=60,
+    equipment_per_department=20, seed=99,
+)
+
+
+def build():
+    buffer = BufferManager(MemoryPagedFile(), capacity=4096)
+    manager = ComplexObjectManager(Segment(buffer))
+    value = TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, WORKLOAD.rows()[0])
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, value)
+    return buffer, manager, root
+
+
+def pages_for(buffer, action):
+    buffer.invalidate_cache()
+    buffer.stats.reset()
+    action()
+    return len(buffer.stats.pages_touched)
+
+
+def test_structure_data_separation(benchmark):
+    buffer, manager, root = build()
+    total_pages = len(manager.object_pages(root))
+
+    def navigate():
+        obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+        return [len(p.subtables[0].elements)
+                for p in obj.decoded.subtables[0].elements]
+
+    def read_one():
+        obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+        schema, member = obj.resolve([("PROJECTS", 7), ("MEMBERS", 30)])
+        return obj.read_atoms(schema, member)
+
+    def load_all():
+        return manager.load(root, paper.DEPARTMENTS_SCHEMA)
+
+    navigation_pages = pages_for(buffer, navigate)
+    single_pages = pages_for(buffer, read_one)
+    full_pages = pages_for(buffer, load_all)
+
+    lines = [
+        f"object occupies {total_pages} pages "
+        f"({sum(len(p['MEMBERS']) for p in WORKLOAD.rows()[0]['PROJECTS'])} members)",
+        f"pages touched:",
+        f"  count all subtable elements (MD only):     {navigation_pages}",
+        f"  read one member's data subtuple:           {single_pages}",
+        f"  materialize the whole object:              {full_pages}",
+    ]
+    assert navigation_pages < full_pages
+    assert single_pages < full_pages
+    lines.append(
+        "\nnavigation and point reads stay on a fraction of the object's "
+        "pages — structure/data separation pays off."
+    )
+    emit("ablation_A6_navigation", "\n".join(lines))
+    benchmark(navigate)

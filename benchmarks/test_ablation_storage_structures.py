@@ -1,0 +1,143 @@
+"""Ablation A2 — SS1 vs SS2 vs SS3 (Fig 6's alternatives).
+
+Paper: "an order SS1 > SS3 > SS2 can be established concerning the number
+of MD subtuples required", but "it cannot be the only goal just to minimize
+the number of nodes ... storage space, access time, etc. have to be
+considered as well".  We measure all of it: MD subtuple counts, MD bytes,
+pages, whole-object load time, and structural navigation time, across a
+fan-out sweep.
+"""
+
+import time
+
+from repro.datasets import DepartmentsGenerator, paper
+from repro.model.values import TupleValue
+from repro.storage.buffer import BufferManager
+from repro.storage.complex_object import ComplexObjectManager
+from repro.storage.minidirectory import StorageStructure
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+
+from _bench_utils import emit
+
+SWEEP = [
+    ("narrow", dict(projects_per_department=2, members_per_project=3)),
+    ("medium", dict(projects_per_department=5, members_per_project=10)),
+    ("wide", dict(projects_per_department=10, members_per_project=40)),
+]
+
+
+def store_one(structure, params):
+    gen = DepartmentsGenerator(departments=1, seed=33, **params)
+    buffer = BufferManager(MemoryPagedFile(), capacity=1024)
+    manager = ComplexObjectManager(Segment(buffer), structure)
+    value = TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, gen.rows()[0])
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, value)
+    return buffer, manager, root
+
+
+def test_md_size_sweep(benchmark):
+    lines = [
+        "Mini Directory cost per storage structure (one department object)",
+        f"{'shape':>8} {'SS':>4} {'#MD':>5} {'MD bytes':>9} {'data bytes':>10} "
+        f"{'pages':>6}",
+    ]
+    counts = {}
+    for label, params in SWEEP:
+        for structure in StorageStructure:
+            _buffer, manager, root = store_one(structure, params)
+            stats = manager.statistics(root, paper.DEPARTMENTS_SCHEMA)
+            counts[(label, structure)] = stats["md_subtuples"]
+            lines.append(
+                f"{label:>8} {structure.value:>4} {stats['md_subtuples']:>5} "
+                f"{stats['md_bytes']:>9} {stats['data_bytes']:>10} "
+                f"{stats['pages']:>6}"
+            )
+    for label, _params in SWEEP:
+        assert counts[(label, StorageStructure.SS1)] > counts[(label, StorageStructure.SS3)]
+        assert counts[(label, StorageStructure.SS3)] > counts[(label, StorageStructure.SS2)]
+    lines.append("\nordering #MD(SS1) > #MD(SS3) > #MD(SS2) holds at every shape")
+    emit("ablation_A2_md_sizes", "\n".join(lines))
+    # time one representative store
+    benchmark(store_one, StorageStructure.SS3, dict(SWEEP[1][1]))
+
+
+def _navigate(manager, root):
+    """Pure structural navigation: count members per project without
+    reading member data subtuples."""
+    obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+    return [
+        len(project.subtables[0].elements)
+        for project in obj.decoded.subtables[0].elements
+    ]
+
+
+def test_navigation_time_per_structure(benchmark):
+    params = dict(SWEEP[2][1])
+    built = {s: store_one(s, params) for s in StorageStructure}
+    timings = {}
+    for structure, (_buffer, manager, root) in built.items():
+        start = time.perf_counter()
+        for _ in range(200):
+            _navigate(manager, root)
+        timings[structure] = (time.perf_counter() - start) / 200
+    lines = ["structural navigation time (wide object, mean of 200 runs)"]
+    for structure, seconds in timings.items():
+        lines.append(f"  {structure.value}: {seconds * 1e6:8.1f} us")
+    lines.append(
+        "\nSS2 folds subtable lists upward (fewest reads); SS1 pays one "
+        "extra MD hop per complex subobject."
+    )
+    emit("ablation_A2_navigation_time", "\n".join(lines))
+    _buffer, manager, root = built[StorageStructure.SS3]
+    benchmark(_navigate, manager, root)
+
+
+def test_partial_insert_time_per_structure(benchmark):
+    """Section 4.1's third demand: fast processing for *arbitrary parts*.
+    Cost of inserting one member into one project, per storage layout."""
+    import time
+
+    params = dict(SWEEP[1][1])
+    results = {}
+    for structure in StorageStructure:
+        buffer, manager, root = store_one(structure, params)
+        start = time.perf_counter()
+        for index in range(50):
+            obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+            obj.insert_element(
+                [("PROJECTS", 0)], "MEMBERS",
+                {"EMPNO": 90_000 + index, "FUNCTION": "Staff"},
+            )
+        results[structure] = (time.perf_counter() - start) / 50
+    lines = ["partial insert (one member into one project), mean of 50:"]
+    for structure, seconds in results.items():
+        lines.append(f"  {structure.value}: {seconds * 1e3:8.3f} ms")
+    lines.append(
+        "\nstructural edits rewrite only MD subtuples; data subtuples are "
+        "untouched in every layout"
+    )
+    emit("ablation_A2_partial_insert", "\n".join(lines))
+    buffer, manager, root = store_one(StorageStructure.SS3, params)
+    counter = iter(range(100_000))
+    benchmark(lambda: manager.open(root, paper.DEPARTMENTS_SCHEMA).insert_element(
+        [("PROJECTS", 0)], "MEMBERS",
+        {"EMPNO": next(counter), "FUNCTION": "Staff"},
+    ))
+
+
+def test_load_time_per_structure(benchmark):
+    params = dict(SWEEP[1][1])
+    results = {}
+    for structure in StorageStructure:
+        _buffer, manager, root = store_one(structure, params)
+        start = time.perf_counter()
+        for _ in range(50):
+            manager.load(root, paper.DEPARTMENTS_SCHEMA)
+        results[structure] = (time.perf_counter() - start) / 50
+    lines = ["whole-object load time (medium object, mean of 50 runs)"]
+    for structure, seconds in results.items():
+        lines.append(f"  {structure.value}: {seconds * 1e3:8.2f} ms")
+    emit("ablation_A2_load_time", "\n".join(lines))
+    _buffer, manager, root = store_one(StorageStructure.SS3, params)
+    benchmark(manager.load, root, paper.DEPARTMENTS_SCHEMA)

@@ -1,0 +1,110 @@
+"""Regenerate the results of Section 3's Examples 1-8 (the paper's worked
+query walkthrough), timing each query through the full stack."""
+
+from repro.datasets import paper
+from repro.render import render_table
+
+from _bench_utils import emit
+from test_repro_tables import _query
+
+
+def test_example_1_select_star(paper_db, benchmark):
+    result = benchmark(_query, paper_db, "SELECT * FROM x IN DEPARTMENTS")
+    assert result == paper.departments()
+    emit("example_1", f"SELECT * over Table 5 -> {len(result)} complex objects; "
+                      "result identical to the stored table.")
+
+
+def test_example_2_explicit(paper_db, benchmark):
+    query = (
+        "SELECT x.DNO, x.MGRNO, "
+        "PROJECTS = (SELECT y.PNO, y.PNAME, "
+        "            MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS) "
+        "            FROM y IN x.PROJECTS), "
+        "x.BUDGET, "
+        "EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP) "
+        "FROM x IN DEPARTMENTS"
+    )
+    result = benchmark(_query, paper_db, query)
+    assert result == paper.departments()
+    emit("example_2", "explicit result structure == Table 5: True")
+
+
+def test_example_3_nest(paper_db, benchmark):
+    query = (
+        "SELECT x.DNO, x.MGRNO, "
+        "PROJECTS = (SELECT y.PNO, y.PNAME, "
+        "            MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN MEMBERS-1NF "
+        "                       WHERE z.DNO = x.DNO AND z.PNO = y.PNO) "
+        "            FROM y IN PROJECTS-1NF WHERE y.DNO = x.DNO), "
+        "x.BUDGET, "
+        "EQUIP = (SELECT v.QU, v.TYPE FROM v IN EQUIP-1NF WHERE v.DNO = x.DNO) "
+        "FROM x IN DEPARTMENTS-1NF"
+    )
+    result = benchmark(_query, paper_db, query)
+    assert result == paper.departments()
+    emit("example_3", "nest of Tables 1-4 == Table 5: True")
+
+
+def test_example_4_unnest(paper_db, benchmark):
+    query = (
+        "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION "
+        "FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS"
+    )
+    result = benchmark(_query, paper_db, query)
+    assert len(result) == 17
+    flat_query = (
+        "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION "
+        "FROM x IN DEPARTMENTS-1NF, y IN PROJECTS-1NF, z IN MEMBERS-1NF "
+        "WHERE x.DNO = y.DNO AND y.PNO = z.PNO AND y.DNO = z.DNO"
+    )
+    assert paper_db.query(flat_query) == result
+    emit("example_4", "unnest of Table 5 == 3-way flat join (17 rows): True\n"
+                      "(hierarchical tables store pre-computed joins)")
+
+
+def test_example_5_exists(paper_db, benchmark):
+    query = (
+        "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.EQUIP: y.TYPE = 'PC/AT'"
+    )
+    result = benchmark(_query, paper_db, query)
+    assert sorted(result.column("DNO")) == [218, 314, 417]
+    emit("example_5", render_table(result, title="Departments using a PC/AT"))
+
+
+def test_example_6_all(paper_db, benchmark):
+    query = (
+        "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS "
+        "WHERE ALL y IN x.PROJECTS: ALL z IN y.MEMBERS: "
+        "z.FUNCTION = 'Consultant'"
+    )
+    result = benchmark(_query, paper_db, query)
+    assert len(result) == 0
+    emit("example_6", "departments with only consultants: empty result "
+                      "(exactly as the paper states)")
+
+
+def test_example_7_join(paper_db, benchmark):
+    query = (
+        "SELECT x.DNO, x.MGRNO, "
+        "EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION "
+        "             FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF "
+        "             WHERE z.EMPNO = u.EMPNO) "
+        "FROM x IN DEPARTMENTS"
+    )
+    result = benchmark(_query, paper_db, query)
+    totals = {row["DNO"]: len(row["EMPLOYEES"]) for row in result}
+    assert totals == {314: 7, 218: 6, 417: 4}
+    emit("example_7", render_table(result, title="Employees by department"))
+
+
+def test_example_8_list_subscript(paper_db, benchmark):
+    query = (
+        "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS "
+        "WHERE x.AUTHORS[1] = 'Jones A'"
+    )
+    result = benchmark(_query, paper_db, query)
+    assert len(result) == 1
+    assert result[0]["AUTHORS"].ordered
+    emit("example_8", render_table(result, title="Reports with Jones as first author"))

@@ -1,0 +1,59 @@
+"""Section 4.2's three index queries, executed with the paper's preferred
+hierarchical-address indexes through the planner."""
+
+from repro.datasets import paper
+
+from _bench_utils import build_paper_db, emit
+from test_repro_tables import _query
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def indexed_db():
+    db = build_paper_db()
+    db.create_index("IDX_FUNCTION", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    db.create_index("IDX_PNO", "DEPARTMENTS", "PROJECTS.PNO")
+    return db
+
+
+def test_query1_consultant_departments(indexed_db, benchmark):
+    query = (
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+        "z.FUNCTION = 'Consultant'"
+    )
+    result = benchmark(_query, indexed_db, query)
+    assert sorted(result.column("DNO")) == [218, 314]
+    plan = indexed_db.last_plan
+    emit("section42_query1",
+         f"departments with a consultant: {sorted(result.column('DNO'))} "
+         f"(paper: 314 and 218)\nplan: indexes={plan.used_indexes}")
+
+
+def test_query2_consultant_projects(indexed_db, benchmark):
+    query = (
+        "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS "
+        "WHERE EXISTS z IN y.MEMBERS z.FUNCTION = 'Consultant'"
+    )
+    result = benchmark(_query, indexed_db, query)
+    assert sorted(result.column("PNO")) == [17, 25]
+    emit("section42_query2",
+         f"projects with a consultant: {sorted(result.column('PNO'))} "
+         "(paper: PNOs 17 and 25)")
+
+
+def test_query3_pno17_and_consultant(indexed_db, benchmark):
+    query = (
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS "
+        "(y.PNO = 17 AND EXISTS z IN y.MEMBERS z.FUNCTION = 'Consultant')"
+    )
+    result = benchmark(_query, indexed_db, query)
+    assert result.column("DNO") == [314]
+    plan = indexed_db.last_plan
+    assert plan is not None and plan.prefix_joins == 1
+    emit("section42_query3",
+         f"PNO=17 with a consultant in the same project: {result.column('DNO')}\n"
+         f"plan: indexes={plan.used_indexes}, prefix joins={plan.prefix_joins} "
+         "(decided on index information alone — Fig 7b)")

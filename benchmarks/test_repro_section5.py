@@ -1,0 +1,77 @@
+"""Section 5's closing examples: the masked-search text query and the
+temporal ASOF query."""
+
+import datetime
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+
+from _bench_utils import build_paper_db, emit
+from test_repro_tables import _query
+
+
+def test_text_query(benchmark):
+    """"List all reports co-authored by Jones with *comput* in the title"
+    — empty on the paper's own Table 6 (no such title exists there), and
+    served by the text index."""
+    db = build_paper_db()
+    db.create_text_index("TX_TITLE", "REPORTS", "TITLE")
+    query = (
+        "SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS "
+        "WHERE x.TITLE CONTAINS '*comput*' "
+        "AND EXISTS y IN x.AUTHORS: y.NAME = 'Jones A'"
+    )
+    result = benchmark(_query, db, query)
+    assert len(result) == 0
+    # a pattern that does hit: report 0189
+    hit = db.query(
+        "SELECT x.REPNO FROM x IN REPORTS WHERE x.TITLE CONTAINS '*string*'"
+    )
+    assert hit.column("REPNO") == ["0189"]
+    emit("section5_text_query",
+         "'*comput*' AND Jones co-author over Table 6: empty (no such title "
+         "in the paper's data)\n'*string*': report 0189 via text index "
+         f"(plan: {db.last_plan.used_indexes if db.last_plan else 'scan'})")
+
+
+def test_asof_query(benchmark):
+    """"All projects which department 314 has had on January 15th, 1984"
+    over a versioned DEPARTMENTS table."""
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True)
+    tid = db.insert(
+        "DEPARTMENTS", paper.DEPARTMENTS_ROWS[0], at=datetime.date(1984, 1, 1)
+    )
+    db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[1],
+              at=datetime.date(1984, 1, 2))
+    # Feb 1984: project 23 cancelled, project 29 started
+    tid = db.update(
+        "DEPARTMENTS", tid,
+        lambda obj: obj.delete_element([], "PROJECTS", 1),
+        at=datetime.date(1984, 2, 1),
+    )
+    tid = db.update(
+        "DEPARTMENTS", tid,
+        lambda obj: obj.insert_element(
+            [], "PROJECTS",
+            {"PNO": 29, "PNAME": "ROBO", "MEMBERS": []},
+        ),
+        at=datetime.date(1984, 2, 10),
+    )
+    query = (
+        "SELECT y.PNO, y.PNAME "
+        "FROM x IN DEPARTMENTS ASOF '1984-01-15', y IN x.PROJECTS "
+        "WHERE x.DNO = 314"
+    )
+    result = benchmark(_query, db, query)
+    assert sorted(result.column("PNO")) == [17, 23]
+    current = db.query(
+        "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE x.DNO = 314"
+    )
+    assert sorted(current.column("PNO")) == [17, 29]
+    emit("section5_asof_query",
+         f"projects of dept 314 ASOF 1984-01-15: {sorted(result.column('PNO'))} "
+         "(the paper's example query)\n"
+         f"projects of dept 314 today: {sorted(current.column('PNO'))}")

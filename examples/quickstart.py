@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's DEPARTMENTS table, end to end.
+
+Creates the extended-NF2 DEPARTMENTS table (Table 5 of the paper), loads
+the paper's data, and runs the queries of Section 3 — including the nest
+(Fig 3) and unnest (Example 4/Table 7) operations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, render_table
+from repro.datasets import paper
+
+
+def main() -> None:
+    db = Database()  # in-memory; pass path="file.db" for a persistent store
+
+    # -- DDL: nested structure declared directly -------------------------------
+    db.execute(
+        """
+        CREATE TABLE DEPARTMENTS (
+            DNO INT,
+            MGRNO INT,
+            PROJECTS TABLE OF (
+                PNO INT,
+                PNAME STRING,
+                MEMBERS TABLE OF (EMPNO INT, FUNCTION STRING)
+            ),
+            BUDGET INT,
+            EQUIP TABLE OF (QU INT, TYPE STRING)
+        )
+        """
+    )
+
+    # -- load the paper's Table 5 (plain nested Python data) --------------------
+    db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+
+    print("=== Table 5: the stored NF2 table ===")
+    print(db.render("DEPARTMENTS"))
+
+    # -- Example 1: SELECT * keeps the nested structure --------------------------
+    result = db.query("SELECT * FROM x IN DEPARTMENTS")
+    print(f"\nExample 1: SELECT * returned {len(result)} complex objects")
+
+    # -- Example 4: unnest into a flat table (the paper's Table 7) ---------------
+    flat = db.query(
+        "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION "
+        "FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS"
+    )
+    print("\n=== Table 7: the unnested view ===")
+    print(render_table(flat, title="RESULT"))
+
+    # -- Example 5: EXISTS over a subtable ----------------------------------------
+    pcat = db.query(
+        "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.EQUIP: y.TYPE = 'PC/AT'"
+    )
+    print("\nDepartments using a PC/AT:", sorted(pcat.column("DNO")))
+
+    # -- DML: the language's nested literals ({} relations, <> lists) ------------
+    db.execute(
+        "INSERT INTO DEPARTMENTS VALUES "
+        "(520, 77001, {(41, 'DOCS', {(77002, 'Leader'), (77003, 'Staff')})}, "
+        "150000, {(4, '3278')})"
+    )
+    db.execute("UPDATE DEPARTMENTS x SET BUDGET = 175000 WHERE x.DNO = 520")
+    count = db.query(
+        "SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 520"
+    )
+    print("\nInserted department 520 with budget", count.column("BUDGET")[0])
+
+    # -- indexes: the paper's FUNCTION index with hierarchical addresses ----------
+    db.execute("CREATE INDEX FN ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
+    consultants = db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+        "z.FUNCTION = 'Consultant'"
+    )
+    print(
+        "Departments with a consultant (via index",
+        db.last_plan.used_indexes if db.last_plan else "scan",
+        "):",
+        sorted(consultants.column("DNO")),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Living with change: partial DML, schema evolution, and EXPLAIN.
+
+The paper closes with "handling of schema changes" as future research and
+demands "fast processing ... for arbitrary parts" of complex objects.  This
+example runs a small office through a year of churn:
+
+* sub-object DML straight from the language (hire/fire/promote without
+  touching the rest of the department object);
+* ALTER TABLE at nested levels, with old data migrated;
+* EXPLAIN showing how access paths react.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro import Database
+from repro.datasets import paper
+
+
+def main() -> None:
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+    db.execute("CREATE INDEX FN ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
+
+    # -- partial DML: grow one project without rewriting the object -----------
+    db.execute(
+        "INSERT INTO y.MEMBERS "
+        "FROM x IN DEPARTMENTS, y IN x.PROJECTS "
+        "WHERE x.DNO = 314 AND y.PNO = 17 "
+        "VALUES (40001, 'Staff'), (40002, 'Staff')"
+    )
+    print("Hired two staffers into project 17.")
+
+    promoted = db.execute(
+        "UPDATE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS "
+        "SET FUNCTION = 'Consultant' WHERE z.EMPNO = 40001"
+    )
+    print(f"Promoted {promoted} member to Consultant "
+          "(the FUNCTION index followed along):")
+    consultants = db.query(
+        "SELECT z.EMPNO FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+        "z IN y.MEMBERS WHERE z.FUNCTION = 'Consultant' ORDER BY z.EMPNO"
+    )
+    print("  consultants now:", consultants.column("EMPNO"))
+
+    fired = db.execute(
+        "DELETE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS "
+        "WHERE z.FUNCTION = 'Staff' AND x.DNO = 417"
+    )
+    print(f"Department 417 let {fired} staff members go.")
+
+    # -- schema evolution: a new attribute inside PROJECTS ----------------------
+    db.execute("ALTER TABLE DEPARTMENTS ADD PROJECTS.PRIORITY INT")
+    print("\nAdded PROJECTS.PRIORITY; backfilled as NULL:")
+    priorities = db.query(
+        "SELECT y.PNO, y.PRIORITY FROM x IN DEPARTMENTS, y IN x.PROJECTS "
+        "ORDER BY y.PNO"
+    )
+    for row in priorities:
+        print(f"  project {row['PNO']}: priority {row['PRIORITY']}")
+    db.execute(
+        "UPDATE y FROM x IN DEPARTMENTS, y IN x.PROJECTS SET PRIORITY = 1 "
+        "WHERE y.PNO = 17"
+    )
+    db.execute("ALTER TABLE DEPARTMENTS RENAME ATTRIBUTE BUDGET TO FUNDS")
+    print("Renamed BUDGET to FUNDS; queries use the new name:")
+    funds = db.query(
+        "SELECT x.DNO, x.FUNDS FROM x IN DEPARTMENTS ORDER BY x.FUNDS DESC"
+    )
+    for row in funds:
+        print(f"  dept {row['DNO']}: {row['FUNDS']:,}")
+
+    # -- EXPLAIN: see the access-path decisions -----------------------------------
+    print("\nEXPLAIN for the consultant query:")
+    print(db.explain(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+        "z.FUNCTION = 'Consultant'"
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Time versions: the paper's ASOF query on a versioned DEPARTMENTS table.
+
+Section 5: "If Table 5 had been declared as a 'versioned table', the
+following query would deliver all projects which department 314 has had on
+January 15th, 1984."  This example declares exactly that table, evolves it
+through 1984, and runs the paper's query at several points in time.
+
+Run:  python examples/temporal_history.py
+"""
+
+import datetime
+
+from repro import Database
+from repro.datasets import paper
+
+
+def main() -> None:
+    db = Database()
+    db.execute(
+        """
+        CREATE VERSIONED TABLE DEPARTMENTS (
+            DNO INT, MGRNO INT,
+            PROJECTS TABLE OF (PNO INT, PNAME STRING,
+                               MEMBERS TABLE OF (EMPNO INT, FUNCTION STRING)),
+            BUDGET INT,
+            EQUIP TABLE OF (QU INT, TYPE STRING)
+        )
+        """
+    )
+
+    # 1984-01-01: the departments as in Table 5
+    tids = {}
+    for row in paper.DEPARTMENTS_ROWS:
+        tids[row["DNO"]] = db.insert(
+            "DEPARTMENTS", row, at=datetime.date(1984, 1, 1)
+        )
+
+    # 1984-02-01: department 314 starts project 29 'ROBO'
+    tids[314] = db.update(
+        "DEPARTMENTS",
+        tids[314],
+        lambda obj: obj.insert_element(
+            [], "PROJECTS",
+            {"PNO": 29, "PNAME": "ROBO",
+             "MEMBERS": [{"EMPNO": 31000, "FUNCTION": "Leader"}]},
+        ),
+        at=datetime.date(1984, 2, 1),
+    )
+
+    # 1984-03-01: project 23 'HEAR' is cancelled
+    tids[314] = db.update(
+        "DEPARTMENTS",
+        tids[314],
+        lambda obj: obj.delete_element([], "PROJECTS", 1),
+        at=datetime.date(1984, 3, 1),
+    )
+
+    # 1984-04-01: budget raise
+    tids[314] = db.update(
+        "DEPARTMENTS", tids[314], {"BUDGET": 410_000},
+        at=datetime.date(1984, 4, 1),
+    )
+
+    paper_query = (
+        "SELECT y.PNO, y.PNAME "
+        "FROM x IN DEPARTMENTS ASOF '{}', y IN x.PROJECTS "
+        "WHERE x.DNO = 314"
+    )
+    for day in ["1984-01-15", "1984-02-15", "1984-03-15"]:
+        result = db.query(paper_query.format(day))
+        projects = sorted(
+            (row["PNO"], row["PNAME"]) for row in result
+        )
+        print(f"Projects of department 314 ASOF {day}: {projects}")
+
+    now = db.query(
+        "SELECT x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314"
+    )
+    print(f"Current budget of department 314: {now.column('BUDGET')[0]:,}")
+
+    store = db.catalog.table("DEPARTMENTS").version_store
+    print(f"\nVersion store: {store.version_count} versions across "
+          f"{len(store.current_roots())} current objects "
+          f"({len(store.all_roots_ever())} stored object states in total).")
+
+
+if __name__ == "__main__":
+    main()

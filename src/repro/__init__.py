@@ -1,0 +1,50 @@
+"""repro — a reproduction of the AIM-II extended NF2 DBMS prototype.
+
+Dadam et al., "A DBMS Prototype to Support Extended NF2 Relations: An
+Integrated View on Flat Tables and Hierarchies", SIGMOD 1986.
+
+Public API
+----------
+
+* :class:`repro.Database` — the DBMS facade (DDL, DML, queries, indexes,
+  tuple names, temporal ASOF).
+* :mod:`repro.model` — schemas and nested values.
+* :mod:`repro.algebra` — nest / unnest / project / select / join.
+* :mod:`repro.render` — paper-style ASCII rendering of nested tables.
+* :mod:`repro.datasets` — the paper's Tables 1-8 and synthetic generators.
+"""
+
+from repro.model.schema import AttributeSchema, TableSchema, atomic, list_of, nested, table
+from repro.model.types import AtomicType
+from repro.model.values import TableValue, TupleValue
+from repro.model.ddl import parse_create_table, schema_to_ddl
+from repro.render import render_table, render_schema_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicType",
+    "AttributeSchema",
+    "TableSchema",
+    "TableValue",
+    "TupleValue",
+    "atomic",
+    "table",
+    "list_of",
+    "nested",
+    "parse_create_table",
+    "schema_to_ddl",
+    "render_table",
+    "render_schema_tree",
+    "Database",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Imported lazily to avoid import cycles during package initialization.
+    if name == "Database":
+        from repro.database import Database
+
+        return Database
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,24 @@
+"""NF2 algebra operators (nest / unnest / project / select / join), plus
+the recursive algebra (operators applied inside subtables)."""
+
+from repro.algebra.ops import nest, unnest, project, select_rows, natural_join
+from repro.algebra.recursive import (
+    apply_at,
+    nest_at,
+    project_at,
+    select_at,
+    unnest_at,
+)
+
+__all__ = [
+    "nest",
+    "unnest",
+    "project",
+    "select_rows",
+    "natural_join",
+    "apply_at",
+    "nest_at",
+    "project_at",
+    "select_at",
+    "unnest_at",
+]

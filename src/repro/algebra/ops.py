@@ -1,0 +1,248 @@
+"""The NF2 algebra of Jaeschke/Schek: nest, unnest, and friends.
+
+These operators work on in-memory :class:`~repro.model.values.TableValue`
+objects.  They are the algebraic backbone of the paper's Examples 3 (nest:
+building Table 5 from Tables 1-4) and 4 (unnest: flattening Table 5 into
+Table 7), and they are what the query executor's nested sub-SELECTs and
+cross-products compute.
+
+Classical properties (tested in ``tests/test_algebra.py``):
+
+* ``unnest(nest(R, group, X), X) == R`` for any 1NF relation ``R``;
+* ``nest(unnest(S, X), group, X) == S`` only when ``S`` is *partitioned* on
+  the remaining attributes (nest is not generally the inverse of unnest).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import DataError, SchemaError
+from repro.model.schema import AttributeSchema, TableSchema, nested
+from repro.model.values import TableValue, TupleValue
+
+
+def project(table: TableValue, attributes: Sequence[str], name: Optional[str] = None) -> TableValue:
+    """Project a table onto a subset of its (top-level) attributes.
+
+    Set semantics for unordered tables: duplicate result tuples are removed,
+    as in the relational algebra.  Ordered tables keep duplicates and order.
+    """
+    schema = table.schema
+    attrs = tuple(schema.attribute(a) for a in attributes)
+    out_schema = TableSchema(
+        name=name or schema.name,
+        attributes=attrs,
+        ordered=schema.ordered,
+    )
+    out = TableValue(out_schema)
+    seen: set = set()
+    for row in table:
+        value = TupleValue(out_schema, {a.name: row[a.name] for a in attrs})
+        if not out_schema.ordered:
+            key = value.canonical()
+            if key in seen:
+                continue
+            seen.add(key)
+        out.rows.append(value)
+    return out
+
+
+def select_rows(table: TableValue, predicate: Callable[[TupleValue], bool]) -> TableValue:
+    """Filter a table by a Python predicate."""
+    out = TableValue(table.schema)
+    out.rows.extend(row for row in table if predicate(row))
+    return out
+
+
+def unnest(table: TableValue, attribute: str, name: Optional[str] = None) -> TableValue:
+    """Unnest one table-valued attribute.
+
+    Every outer tuple is combined with each tuple of its subtable; the
+    subtable's attributes replace the table-valued attribute in place.
+    Outer tuples whose subtable is empty produce no output (the classical
+    unnest, which is why nest/unnest are not mutually inverse in general).
+    """
+    schema = table.schema
+    attr = schema.attribute(attribute)
+    if not attr.is_table:
+        raise SchemaError(f"attribute {attribute!r} of {schema.name!r} is atomic")
+    assert attr.table is not None
+    inner = attr.table
+    new_attrs: list[AttributeSchema] = []
+    for a in schema.attributes:
+        if a.name == attribute:
+            for b in inner.attributes:
+                if schema.has_attribute(b.name) and b.name != attribute:
+                    raise SchemaError(
+                        f"unnest would duplicate attribute name {b.name!r}"
+                    )
+                new_attrs.append(b)
+        else:
+            new_attrs.append(a)
+    out_schema = TableSchema(
+        name=name or schema.name,
+        attributes=tuple(new_attrs),
+        ordered=schema.ordered and inner.ordered,
+    )
+    out = TableValue(out_schema)
+    for row in table:
+        subtable: TableValue = row[attribute]
+        for sub in subtable:
+            values = {}
+            for a in schema.attributes:
+                if a.name != attribute:
+                    values[a.name] = row[a.name]
+            for b in inner.attributes:
+                values[b.name] = sub[b.name]
+            out.rows.append(TupleValue(out_schema, values))
+    return out
+
+
+def outer_unnest(table: TableValue, attribute: str, name: Optional[str] = None) -> TableValue:
+    """Unnest that preserves outer tuples with empty subtables by padding
+    the inner attributes with NULLs (the 'outer' variant later literature
+    added because classical unnest loses information — and the reason
+    nest/unnest are not mutually inverse)."""
+    schema = table.schema
+    attr = schema.attribute(attribute)
+    if not attr.is_table:
+        raise SchemaError(f"attribute {attribute!r} of {schema.name!r} is atomic")
+    assert attr.table is not None
+    flattened = unnest(table, attribute, name=name)
+    out = TableValue(flattened.schema)
+    inner_names = attr.table.attribute_names
+    for row in table:
+        subtable: TableValue = row[attribute]
+        if len(subtable):
+            for sub in subtable:
+                values = {
+                    a.name: row[a.name]
+                    for a in schema.attributes
+                    if a.name != attribute
+                }
+                for b in attr.table.attributes:
+                    values[b.name] = sub[b.name]
+                out.rows.append(TupleValue(flattened.schema, values))
+        else:
+            values = {
+                a.name: row[a.name]
+                for a in schema.attributes
+                if a.name != attribute
+            }
+            for b in attr.table.attributes:
+                # atomic attributes pad with NULL; nested ones with an
+                # empty subtable (there is no NULL table value)
+                values[b.name] = None if b.is_atomic else TableValue(b.table)
+            out.rows.append(TupleValue(flattened.schema, values))
+    return out
+
+
+def nest(
+    table: TableValue,
+    group_attributes: Sequence[str],
+    new_attribute: str,
+    ordered: bool = False,
+    name: Optional[str] = None,
+) -> TableValue:
+    """Nest *group_attributes* into a new table-valued attribute.
+
+    Rows agreeing on all remaining attributes are merged into a single output
+    tuple whose *new_attribute* collects the grouped projections.  This is
+    the Jaeschke/Schek ``nu`` operator.
+    """
+    schema = table.schema
+    group = tuple(schema.attribute(a) for a in group_attributes)
+    if not group:
+        raise SchemaError("nest needs at least one attribute to group")
+    rest = tuple(a for a in schema.attributes if a.name not in set(group_attributes))
+    if not rest:
+        raise SchemaError("nest must leave at least one attribute ungrouped")
+    if schema.has_attribute(new_attribute) and new_attribute not in group_attributes:
+        raise SchemaError(f"attribute {new_attribute!r} already exists")
+    inner_schema = TableSchema(name=new_attribute, attributes=group, ordered=ordered)
+    out_schema = TableSchema(
+        name=name or schema.name,
+        attributes=rest + (nested(new_attribute, inner_schema),),
+        ordered=False,
+    )
+    groups: dict[tuple, TableValue] = {}
+    order: list[tuple] = []
+    keys: dict[tuple, TupleValue] = {}
+    for row in table:
+        key_value = TupleValue(
+            TableSchema("nest_key", rest, ordered=False)
+            if rest
+            else schema,  # pragma: no cover - rest is never empty here
+            {a.name: row[a.name] for a in rest},
+        )
+        key = key_value.canonical()
+        if key not in groups:
+            groups[key] = TableValue(inner_schema)
+            order.append(key)
+            keys[key] = row
+        groups[key].rows.append(
+            TupleValue(inner_schema, {a.name: row[a.name] for a in group})
+        )
+    out = TableValue(out_schema)
+    for key in order:
+        row = keys[key]
+        values = {a.name: row[a.name] for a in rest}
+        values[new_attribute] = groups[key]
+        out.rows.append(TupleValue(out_schema, values))
+    return out
+
+
+def natural_join(
+    left: TableValue,
+    right: TableValue,
+    on: Optional[Sequence[tuple[str, str]]] = None,
+    name: str = "JOIN",
+) -> TableValue:
+    """Equi-join two tables on pairs of (left-attr, right-attr).
+
+    With ``on=None`` the join is natural: all identically-named top-level
+    attributes are matched, and the duplicates are projected away.
+    """
+    if on is None:
+        shared = [a for a in left.schema.attribute_names if right.schema.has_attribute(a)]
+        if not shared:
+            raise SchemaError("natural join found no shared attributes")
+        on = [(a, a) for a in shared]
+        drop_right = set(shared)
+    else:
+        drop_right = set()
+    for left_name, right_name in on:
+        if left.schema.attribute(left_name).is_table:
+            raise DataError(f"cannot join on table-valued attribute {left_name!r}")
+        if right.schema.attribute(right_name).is_table:
+            raise DataError(f"cannot join on table-valued attribute {right_name!r}")
+    attrs: list[AttributeSchema] = list(left.schema.attributes)
+    for attr in right.schema.attributes:
+        if attr.name in drop_right:
+            continue
+        if any(a.name == attr.name for a in attrs):
+            raise SchemaError(f"join would duplicate attribute {attr.name!r}")
+        attrs.append(attr)
+    out_schema = TableSchema(name=name, attributes=tuple(attrs), ordered=False)
+    out = TableValue(out_schema)
+    # Hash join on the key pairs.
+    buckets: dict[tuple, list[TupleValue]] = {}
+    for row in right:
+        key = tuple(_atom_key(row[r]) for (_l, r) in on)
+        buckets.setdefault(key, []).append(row)
+    for row in left:
+        key = tuple(_atom_key(row[l]) for (l, _r) in on)
+        for match in buckets.get(key, ()):
+            values = {a.name: row[a.name] for a in left.schema.attributes}
+            for attr in right.schema.attributes:
+                if attr.name not in drop_right:
+                    values[attr.name] = match[attr.name]
+            out.rows.append(TupleValue(out_schema, values))
+    return out
+
+
+def _atom_key(value: object) -> object:
+    if isinstance(value, TableValue):
+        raise DataError("cannot join on a table-valued attribute")
+    return value

@@ -1,0 +1,107 @@
+"""The recursive NF2 algebra (/Jae85b/: "Recursive Algebra for Relations
+with Relation Valued Attributes").
+
+Jaeschke's non-recursive operators (:mod:`repro.algebra.ops`) act on a
+table's top level; the recursive algebra lets any operator act *inside* a
+table-valued attribute, at any depth, by mapping it over the subtable
+instances.  We provide the general :func:`apply_at` combinator plus the
+derived recursive nest / unnest / select / project.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.algebra.ops import nest, project, select_rows, unnest
+from repro.errors import SchemaError
+from repro.model.schema import AttributeSchema, TableSchema, nested
+from repro.model.values import TableValue, TupleValue
+
+
+def apply_at(
+    table: TableValue,
+    path: Sequence[str],
+    operator: Callable[[TableValue], TableValue],
+) -> TableValue:
+    """Apply *operator* to the subtable instances at *path*.
+
+    ``path`` names table-valued attributes from the top level down; an
+    empty path applies the operator to the table itself.  The operator
+    receives each subtable instance (a TableValue) and returns its
+    replacement; the first replacement determines the new subtable schema
+    (an empty input keeps the transformed schema via a probe on an empty
+    instance).
+    """
+    if not path:
+        return operator(table)
+    head, rest = path[0], list(path[1:])
+    attr = table.schema.attribute(head)
+    if not attr.is_table:
+        raise SchemaError(f"{head!r} is not a table-valued attribute")
+    assert attr.table is not None
+
+    # Determine the transformed inner schema with an empty probe so that
+    # heterogeneous results are impossible and empty tables work.
+    probe = apply_at(TableValue(attr.table), rest, operator)
+    new_inner = probe.schema.rename(head)
+    new_attrs = tuple(
+        nested(head, new_inner) if a.name == head else a
+        for a in table.schema.attributes
+    )
+    new_schema = TableSchema(
+        name=table.schema.name, attributes=new_attrs, ordered=table.schema.ordered
+    )
+    out = TableValue(new_schema)
+    for row in table:
+        transformed = apply_at(row[head], rest, operator)
+        if transformed.schema.attribute_names != new_inner.attribute_names:
+            raise SchemaError(
+                "operator produced differing schemas across subtable instances"
+            )
+        values = {a.name: row[a.name] for a in table.schema.attributes if a.name != head}
+        retagged = TableValue(new_inner)
+        retagged.rows.extend(
+            TupleValue(new_inner, {n: r[n] for n in new_inner.attribute_names})
+            for r in transformed.rows
+        )
+        values[head] = retagged
+        out.rows.append(TupleValue(new_schema, values))
+    return out
+
+
+def select_at(
+    table: TableValue,
+    path: Sequence[str],
+    predicate: Callable[[TupleValue], bool],
+) -> TableValue:
+    """Recursive selection: filter the subtable instances at *path*."""
+    return apply_at(table, path, lambda t: select_rows(t, predicate))
+
+
+def project_at(
+    table: TableValue, path: Sequence[str], attributes: Sequence[str]
+) -> TableValue:
+    """Recursive projection inside the subtables at *path*."""
+    return apply_at(table, path, lambda t: project(t, attributes))
+
+
+def unnest_at(
+    table: TableValue, path: Sequence[str], attribute: str
+) -> TableValue:
+    """Recursive unnest: flatten *attribute* inside the subtables at
+    *path* (e.g. flatten MEMBERS within each department's PROJECTS,
+    leaving the departments nested)."""
+    return apply_at(table, path, lambda t: unnest(t, attribute))
+
+
+def nest_at(
+    table: TableValue,
+    path: Sequence[str],
+    group_attributes: Sequence[str],
+    new_attribute: str,
+    ordered: bool = False,
+) -> TableValue:
+    """Recursive nest inside the subtables at *path*."""
+    return apply_at(
+        table, path, lambda t: nest(t, group_attributes, new_attribute, ordered)
+    )

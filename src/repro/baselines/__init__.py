@@ -1,0 +1,13 @@
+"""Comparison systems the paper argues against.
+
+* :mod:`repro.baselines.flat` — the pure relational alternative: complex
+  objects "flattened" into 1NF tables, reassembled by runtime joins;
+* :mod:`repro.baselines.lorie` — the /HL82, LP83/ "on top" approach:
+  complex objects as chains of flat tuples linked by system pointer
+  attributes (root / father / child / sibling).
+"""
+
+from repro.baselines.flat import FlatRelationalBaseline
+from repro.baselines.lorie import LorieComplexObjects
+
+__all__ = ["FlatRelationalBaseline", "LorieComplexObjects"]

@@ -1,0 +1,144 @@
+"""The flat-relational baseline: 1NF decomposition + runtime joins.
+
+DEPARTMENTS-shaped complex objects are stored as the paper's Tables 1-4
+(DEPARTMENTS-1NF, PROJECTS-1NF, MEMBERS-1NF, EQUIP-1NF) in ordinary heap
+files.  Reassembling one department is a 4-way join; with indexes on the
+foreign keys this is index-nested-loop, without them a scan — either way
+the tuples of one object are scattered over the shared heaps, which is
+exactly the clustering disadvantage Section 1 and 4.1 describe.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datasets import paper
+from repro.index.manager import FlatIndex, IndexDefinition
+from repro.model.values import TupleValue
+from repro.storage.buffer import BufferManager, BufferStats
+from repro.storage.heap import HeapFile
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+from repro.storage.tid import TID
+
+
+class FlatRelationalBaseline:
+    """Stores departments in 1NF and reassembles them with joins."""
+
+    def __init__(self, buffer_capacity: int = 512, with_indexes: bool = True):
+        self.buffer = BufferManager(MemoryPagedFile(), capacity=buffer_capacity)
+        self._segments = [
+            Segment(self.buffer, name=f"flat-{name}")
+            for name in ("departments", "projects", "members", "equip")
+        ]
+        self.departments = HeapFile(self._segments[0], paper.DEPARTMENTS_1NF_SCHEMA)
+        self.projects = HeapFile(self._segments[1], paper.PROJECTS_1NF_SCHEMA)
+        self.members = HeapFile(self._segments[2], paper.MEMBERS_1NF_SCHEMA)
+        self.equipment = HeapFile(self._segments[3], paper.EQUIP_1NF_SCHEMA)
+        self.with_indexes = with_indexes
+        self._dept_index = FlatIndex(IndexDefinition("D", "DEPARTMENTS-1NF", ("DNO",)))
+        self._project_index = FlatIndex(IndexDefinition("P", "PROJECTS-1NF", ("DNO",)))
+        self._member_index = FlatIndex(IndexDefinition("M", "MEMBERS-1NF", ("DNO",)))
+        self._equip_index = FlatIndex(IndexDefinition("E", "EQUIP-1NF", ("DNO",)))
+
+    @property
+    def stats(self) -> BufferStats:
+        return self.buffer.stats
+
+    # -- loading ---------------------------------------------------------------
+
+    def load(self, departments: list[dict]) -> None:
+        """Load nested department rows, decomposed into the flat tables.
+
+        Tuples are inserted table-by-table (all departments, then all
+        projects, ...), the natural load order for a relational system —
+        and the worst case for object clustering.
+        """
+        for dept in departments:
+            tid = self.departments.insert(
+                TupleValue.from_plain(
+                    paper.DEPARTMENTS_1NF_SCHEMA,
+                    (dept["DNO"], dept["MGRNO"], dept["BUDGET"]),
+                )
+            )
+            self._dept_index.index_row(tid, dept["DNO"])
+        for dept in departments:
+            for project in dept["PROJECTS"]:
+                tid = self.projects.insert(
+                    TupleValue.from_plain(
+                        paper.PROJECTS_1NF_SCHEMA,
+                        (project["PNO"], project["PNAME"], dept["DNO"]),
+                    )
+                )
+                self._project_index.index_row(tid, dept["DNO"])
+        for dept in departments:
+            for project in dept["PROJECTS"]:
+                for member in project["MEMBERS"]:
+                    tid = self.members.insert(
+                        TupleValue.from_plain(
+                            paper.MEMBERS_1NF_SCHEMA,
+                            (
+                                member["EMPNO"],
+                                project["PNO"],
+                                dept["DNO"],
+                                member["FUNCTION"],
+                            ),
+                        )
+                    )
+                    self._member_index.index_row(tid, dept["DNO"])
+        for dept in departments:
+            for item in dept["EQUIP"]:
+                tid = self.equipment.insert(
+                    TupleValue.from_plain(
+                        paper.EQUIP_1NF_SCHEMA,
+                        (item["QU"], item["TYPE"], dept["DNO"]),
+                    )
+                )
+                self._equip_index.index_row(tid, dept["DNO"])
+
+    # -- retrieval -----------------------------------------------------------------
+
+    def retrieve(self, dno: int) -> Optional[dict]:
+        """Reassemble one department as nested plain data (the 4-way join)."""
+        dept_rows = self._fetch(self.departments, self._dept_index, dno)
+        if not dept_rows:
+            return None
+        dept = dept_rows[0]
+        project_rows = self._fetch(self.projects, self._project_index, dno)
+        member_rows = self._fetch(self.members, self._member_index, dno)
+        equip_rows = self._fetch(self.equipment, self._equip_index, dno)
+        projects = []
+        for project in project_rows:
+            members = [
+                {"EMPNO": m["EMPNO"], "FUNCTION": m["FUNCTION"]}
+                for m in member_rows
+                if m["PNO"] == project["PNO"]
+            ]
+            projects.append(
+                {"PNO": project["PNO"], "PNAME": project["PNAME"], "MEMBERS": members}
+            )
+        return {
+            "DNO": dept["DNO"],
+            "MGRNO": dept["MGRNO"],
+            "BUDGET": dept["BUDGET"],
+            "PROJECTS": projects,
+            "EQUIP": [{"QU": e["QU"], "TYPE": e["TYPE"]} for e in equip_rows],
+        }
+
+    def _fetch(self, heap: HeapFile, index: FlatIndex, dno: int) -> list[TupleValue]:
+        if self.with_indexes:
+            return [heap.fetch(tid) for tid in index.search(dno)]
+        return [row for _tid, row in heap.scan() if row["DNO"] == dno]
+
+    # -- metrics ----------------------------------------------------------------------
+
+    def pages_touched_for(self, dno: int) -> int:
+        """Distinct pages read to reassemble one department, cold cache."""
+        self.buffer.invalidate_cache()
+        self.stats.reset()
+        self.retrieve(dno)
+        return len(self.stats.pages_touched)
+
+    @property
+    def total_pages(self) -> int:
+        return sum(segment.page_count for segment in self._segments)

@@ -1,0 +1,223 @@
+"""An IMS-like hierarchical database (Fig 1's world).
+
+Section 2: "In an IMS database this could be modelled by defining the
+segment types and parent child relations as shown in Fig 1.  To retrieve an
+object of this type 'navigational' language constructs like 'get next' (GN)
+and 'get next within parent' (GNP) etc. have usually to be used which are
+completely different from the high level language constructs used in
+relational database systems."
+
+This module implements that world so the contrast can be *run*: a segment
+hierarchy (DEPARTMENT → PROJECT → MEMBER, DEPARTMENT → EQUIPMENT), records
+stored in hierarchic sequence (HSAM-style) over the same page engine, and
+the classical DL/I-ish calls:
+
+* :meth:`IMSDatabase.gu` — Get Unique: position at the first record of a
+  type matching a qualification, searching from the start;
+* :meth:`IMSDatabase.gn` — Get Next: the next matching record in hierarchic
+  sequence;
+* :meth:`IMSDatabase.gnp` — Get Next within Parent: the next matching
+  record inside the current parent's subtree.
+
+``records_visited`` counts every record the navigation touches — the cost
+metric the Fig 1 benchmark reports against the one-statement NF2 query.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.storage.buffer import BufferManager, BufferStats
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+from repro.storage.tid import TID
+
+
+@dataclass(frozen=True)
+class SegmentType:
+    """One segment (record) type of the hierarchy."""
+
+    name: str
+    fields: tuple[str, ...]
+    children: tuple["SegmentType", ...] = ()
+
+    def find(self, name: str) -> Optional["SegmentType"]:
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+#: Fig 1's hierarchy.
+DEPARTMENTS_HIERARCHY = SegmentType(
+    "DEPARTMENT",
+    ("DNO", "MGRNO", "BUDGET"),
+    (
+        SegmentType(
+            "PROJECT",
+            ("PNO", "PNAME"),
+            (SegmentType("MEMBER", ("EMPNO", "FUNCTION")),),
+        ),
+        SegmentType("EQUIPMENT", ("QU", "TYPE")),
+    ),
+)
+
+
+@dataclass
+class _Record:
+    type_name: str
+    level: int
+    values: dict[str, Any]
+    tid: TID
+
+
+def _pack(values: Sequence[Any]) -> bytes:
+    parts = []
+    for value in values:
+        raw = str(value).encode("utf-8")
+        parts.append(struct.pack(">H", len(raw)) + raw)
+    return b"".join(parts)
+
+
+def _unpack(data: bytes, count: int) -> list[str]:
+    out = []
+    offset = 0
+    for _ in range(count):
+        length = struct.unpack_from(">H", data, offset)[0]
+        offset += 2
+        out.append(data[offset:offset + length].decode("utf-8"))
+        offset += length
+    return out
+
+
+class IMSDatabase:
+    """Records in hierarchic sequence with DL/I-style navigation."""
+
+    def __init__(self, hierarchy: SegmentType = DEPARTMENTS_HIERARCHY,
+                 buffer_capacity: int = 512):
+        self.hierarchy = hierarchy
+        self.buffer = BufferManager(MemoryPagedFile(), capacity=buffer_capacity)
+        self._segment = Segment(self.buffer, name="ims")
+        #: the hierarchic sequence: (type name, level, TID)
+        self._sequence: list[tuple[str, int, TID]] = []
+        self._position = -1
+        #: navigation cost counter
+        self.records_visited = 0
+
+    @property
+    def stats(self) -> BufferStats:
+        return self.buffer.stats
+
+    # -- loading --------------------------------------------------------------
+
+    def load(self, roots: list[dict]) -> None:
+        """Load nested plain data in hierarchic (preorder) sequence.
+
+        Keys of the nested dicts are segment-type names for subtrees and
+        field names for values — e.g. ``{"DNO": 314, ..., "PROJECT":
+        [{...}], "EQUIPMENT": [{...}]}``.
+        """
+        for root in roots:
+            self._load_record(self.hierarchy, root, level=0)
+
+    def _load_record(self, segment_type: SegmentType, data: dict, level: int) -> None:
+        values = [data[field_name] for field_name in segment_type.fields]
+        tid = self._segment.insert_record(_pack(values))
+        self._sequence.append((segment_type.name, level, tid))
+        for child in segment_type.children:
+            for child_data in data.get(child.name, []):
+                self._load_record(child, child_data, level + 1)
+
+    # -- navigation -------------------------------------------------------------
+
+    def reset(self) -> None:
+        self._position = -1
+        self.records_visited = 0
+
+    def _fetch(self, index: int) -> _Record:
+        type_name, level, tid = self._sequence[index]
+        segment_type = self.hierarchy.find(type_name)
+        assert segment_type is not None
+        values = _unpack(self._segment.read_record(tid), len(segment_type.fields))
+        typed = {
+            name: self._coerce(value)
+            for name, value in zip(segment_type.fields, values)
+        }
+        return _Record(type_name, level, typed, tid)
+
+    @staticmethod
+    def _coerce(value: str) -> Any:
+        try:
+            return int(value)
+        except ValueError:
+            return value
+
+    def _matches(self, record: _Record, type_name: Optional[str],
+                 qualification: Optional[dict]) -> bool:
+        if type_name is not None and record.type_name != type_name:
+            return False
+        if qualification:
+            return all(record.values.get(k) == v for k, v in qualification.items())
+        return True
+
+    def gu(self, type_name: str, qualification: Optional[dict] = None) -> Optional[_Record]:
+        """Get Unique: search from the beginning of the database."""
+        self._position = -1
+        return self.gn(type_name, qualification)
+
+    def gn(self, type_name: Optional[str] = None,
+           qualification: Optional[dict] = None) -> Optional[_Record]:
+        """Get Next (in hierarchic sequence)."""
+        index = self._position + 1
+        while index < len(self._sequence):
+            self.records_visited += 1
+            record = self._fetch(index)
+            if self._matches(record, type_name, qualification):
+                self._position = index
+                return record
+            index += 1
+        return None
+
+    def gnp(self, type_name: Optional[str] = None,
+            qualification: Optional[dict] = None) -> Optional[_Record]:
+        """Get Next within Parent: stays inside the current record's
+        parent subtree (the paper's GNP)."""
+        if self._position < 0 or self._parentage_level < 0:
+            raise ExecutionError(
+                "GNP needs established parentage (GU/GN + set_parentage)"
+            )
+        # The parent's subtree is everything following it with a strictly
+        # greater level; the first record at the parent's level (or above)
+        # ends it.
+        index = self._position + 1
+        while index < len(self._sequence):
+            if self._sequence[index][1] <= self._parentage_level:
+                return None  # left the parent's subtree
+            self.records_visited += 1
+            record = self._fetch(index)
+            if self._matches(record, type_name, qualification):
+                self._position = index
+                return record
+            index += 1
+        return None
+
+    def set_parentage(self) -> None:
+        """Establish parentage at the current position (DL/I does this
+        implicitly on GU/GN; we make it explicit for clarity)."""
+        if self._position < 0:
+            raise ExecutionError("no current position")
+        self._parentage_level = self._sequence[self._position][1]
+        self._parentage_position = self._position
+
+    _parentage_level: int = -1
+    _parentage_position: int = -1
+
+    @property
+    def size(self) -> int:
+        return len(self._sequence)

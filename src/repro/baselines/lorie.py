@@ -1,0 +1,255 @@
+"""Lorie-style complex objects: linked flat tuples (/HL82, LP83/).
+
+"A complex object is implemented as a series of tuples logically linked
+together.  The tuples are stored as part of normal, flat tables with
+additional attributes not seen by the user ... Child, sibling, father, and
+root pointers are used for that purpose." (Section 4.1)
+
+Every node (department / project / member / equipment item) is one record
+in a shared heap, carrying its user data plus system pointers:
+
+* ``root``    — the complex object's root tuple,
+* ``father``  — the parent tuple,
+* ``child``   — per subtable, the first element,
+* ``sibling`` — the next element of the same subtable.
+
+No clustering or local address space exists — records land wherever the
+heap has space (the "on top of an existing DBMS" property), so retrieving
+one object chases pointers across many pages.  This is the measured
+contrast for ablation A1.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.storage.buffer import BufferManager, BufferStats
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+from repro.storage.tid import TID
+
+_HEADER = struct.Struct(">B")  # node kind
+_NIL = TID(0xFFFFFFFF, 0xFFFF)
+
+KIND_DEPARTMENT = 1
+KIND_PROJECT = 2
+KIND_MEMBER = 3
+KIND_EQUIPMENT = 4
+
+#: node kind -> number of child pointers (subtables)
+_CHILD_SLOTS = {
+    KIND_DEPARTMENT: 2,  # PROJECTS, EQUIP
+    KIND_PROJECT: 1,     # MEMBERS
+    KIND_MEMBER: 0,
+    KIND_EQUIPMENT: 0,
+}
+
+
+def _encode_node(kind: int, root: TID, father: TID, sibling: TID,
+                 children: list[TID], payload: bytes) -> bytes:
+    out = bytearray(_HEADER.pack(kind))
+    for tid in (root, father, sibling, *children):
+        out += tid.encode()
+    out += payload
+    return bytes(out)
+
+
+def _decode_node(data: bytes) -> tuple[int, TID, TID, TID, list[TID], bytes]:
+    kind = data[0]
+    offset = 1
+    root = TID.decode(data, offset); offset += 6
+    father = TID.decode(data, offset); offset += 6
+    sibling = TID.decode(data, offset); offset += 6
+    children = []
+    for _ in range(_CHILD_SLOTS[kind]):
+        children.append(TID.decode(data, offset))
+        offset += 6
+    return kind, root, father, sibling, children, data[offset:]
+
+
+def _pack_text(values: list) -> bytes:
+    parts = []
+    for value in values:
+        raw = str(value).encode("utf-8")
+        parts.append(struct.pack(">H", len(raw)) + raw)
+    return b"".join(parts)
+
+
+def _unpack_text(data: bytes, count: int) -> list[str]:
+    out = []
+    offset = 0
+    for _ in range(count):
+        length = struct.unpack_from(">H", data, offset)[0]
+        offset += 2
+        out.append(data[offset:offset + length].decode("utf-8"))
+        offset += length
+    return out
+
+
+class LorieComplexObjects:
+    """Departments as linked tuples over an unclustered shared heap."""
+
+    def __init__(self, buffer_capacity: int = 512):
+        self.buffer = BufferManager(MemoryPagedFile(), capacity=buffer_capacity)
+        # One flat table (segment) per tuple type — Lorie's tuples "are
+        # stored as part of normal, flat tables".
+        self._segments = {
+            KIND_DEPARTMENT: Segment(self.buffer, name="lorie-departments"),
+            KIND_PROJECT: Segment(self.buffer, name="lorie-projects"),
+            KIND_MEMBER: Segment(self.buffer, name="lorie-members"),
+            KIND_EQUIPMENT: Segment(self.buffer, name="lorie-equip"),
+        }
+        self.roots: dict[int, TID] = {}  # DNO -> root tuple
+
+    @property
+    def stats(self) -> BufferStats:
+        return self.buffer.stats
+
+    # -- loading --------------------------------------------------------------------
+
+    def load(self, departments: list[dict]) -> None:
+        """Load departments through the normal flat-table insert paths.
+
+        Each tuple type goes to its own table, and departments are loaded
+        level-by-level (all roots, then all projects, ...), so one object's
+        tuples end up spread over the tables' page sets — the layered
+        approach has no complex-object clustering to prevent that.
+        """
+        # Pass 1: all department root tuples.
+        pending: list[tuple[dict, TID]] = []
+        for dept in departments:
+            payload = _pack_text([dept["DNO"], dept["MGRNO"], dept["BUDGET"]])
+            tid = self._segments[KIND_DEPARTMENT].insert_record(
+                _encode_node(KIND_DEPARTMENT, _NIL, _NIL, _NIL, [_NIL, _NIL], payload)
+            )
+            self._rewrite(tid, root=tid)  # self-referential root pointer
+            self.roots[dept["DNO"]] = tid
+            pending.append((dept, tid))
+        # Pass 2: every department's projects into the PROJECT table.
+        project_tids: dict[int, list[tuple[dict, TID]]] = {}
+        for dept, dept_tid in pending:
+            tids = []
+            for project in dept["PROJECTS"]:
+                payload = _pack_text([project["PNO"], project["PNAME"]])
+                tid = self._segments[KIND_PROJECT].insert_record(
+                    _encode_node(KIND_PROJECT, dept_tid, dept_tid, _NIL, [_NIL], payload)
+                )
+                tids.append((project, tid))
+            project_tids[dept["DNO"]] = tids
+            self._link_chain(dept_tid, child_slot=0, chain=[t for _p, t in tids])
+        # Pass 3: every department's equipment.
+        for dept, dept_tid in pending:
+            equip_tids = []
+            for item in dept["EQUIP"]:
+                payload = _pack_text([item["QU"], item["TYPE"]])
+                tid = self._segments[KIND_EQUIPMENT].insert_record(
+                    _encode_node(KIND_EQUIPMENT, dept_tid, dept_tid, _NIL, [], payload)
+                )
+                equip_tids.append(tid)
+            self._link_chain(dept_tid, child_slot=1, chain=equip_tids)
+        # Pass 4: every department's members.
+        for dept, dept_tid in pending:
+            for project, project_tid in project_tids[dept["DNO"]]:
+                member_tids = []
+                for member in project["MEMBERS"]:
+                    payload = _pack_text([member["EMPNO"], member["FUNCTION"]])
+                    tid = self._segments[KIND_MEMBER].insert_record(
+                        _encode_node(
+                            KIND_MEMBER, dept_tid, project_tid, _NIL, [], payload
+                        )
+                    )
+                    member_tids.append(tid)
+                self._link_chain(project_tid, child_slot=0, chain=member_tids)
+
+    def _link_chain(self, father: TID, child_slot: int, chain: list[TID]) -> None:
+        if not chain:
+            return
+        self._rewrite(father, child_at=(child_slot, chain[0]))
+        for current, following in zip(chain, chain[1:]):
+            self._rewrite(current, sibling=following)
+
+    def _read(self, tid: TID) -> bytes:
+        # Any segment can read: TIDs are global and they share the buffer.
+        return self._segments[KIND_DEPARTMENT].read_record(tid)
+
+    def _rewrite(
+        self,
+        tid: TID,
+        root: Optional[TID] = None,
+        sibling: Optional[TID] = None,
+        child_at: Optional[tuple[int, TID]] = None,
+    ) -> None:
+        kind, old_root, father, old_sibling, children, payload = _decode_node(
+            self._read(tid)
+        )
+        if root is not None:
+            old_root = root
+        if sibling is not None:
+            old_sibling = sibling
+        if child_at is not None:
+            children[child_at[0]] = child_at[1]
+        self._segments[kind].update_record(
+            tid, _encode_node(kind, old_root, father, old_sibling, children, payload)
+        )
+
+    # -- retrieval ----------------------------------------------------------------------
+
+    def retrieve(self, dno: int) -> Optional[dict]:
+        """Reassemble one department by chasing pointers."""
+        root = self.roots.get(dno)
+        if root is None:
+            return None
+        _kind, _root, _father, _sibling, children, payload = _decode_node(
+            self._read(root)
+        )
+        dno_text, mgrno, budget = _unpack_text(payload, 3)
+        projects = []
+        for project_tid in self._chain(children[0]):
+            _k, _r, _f, _s, project_children, project_payload = _decode_node(
+                self._read(project_tid)
+            )
+            pno, pname = _unpack_text(project_payload, 2)
+            members = []
+            for member_tid in self._chain(project_children[0]):
+                *_ignored, member_payload = _decode_node(
+                    self._read(member_tid)
+                )
+                empno, function = _unpack_text(member_payload, 2)
+                members.append({"EMPNO": int(empno), "FUNCTION": function})
+            projects.append({"PNO": int(pno), "PNAME": pname, "MEMBERS": members})
+        equipment = []
+        for equip_tid in self._chain(children[1]):
+            *_ignored, equip_payload = _decode_node(
+                self._read(equip_tid)
+            )
+            qu, type_ = _unpack_text(equip_payload, 2)
+            equipment.append({"QU": int(qu), "TYPE": type_})
+        return {
+            "DNO": int(dno_text),
+            "MGRNO": int(mgrno),
+            "BUDGET": int(budget),
+            "PROJECTS": projects,
+            "EQUIP": equipment,
+        }
+
+    def _chain(self, first: TID):
+        current = first
+        while current != _NIL:
+            yield current
+            _k, _r, _f, sibling, _c, _p = _decode_node(
+                self._read(current)
+            )
+            current = sibling
+
+    # -- metrics -------------------------------------------------------------------------
+
+    def pages_touched_for(self, dno: int) -> int:
+        self.buffer.invalidate_cache()
+        self.stats.reset()
+        self.retrieve(dno)
+        return len(self.stats.pages_touched)
+
+    @property
+    def total_pages(self) -> int:
+        return sum(s.page_count for s in self._segments.values())

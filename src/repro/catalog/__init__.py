@@ -1,0 +1,5 @@
+"""The system catalog."""
+
+from repro.catalog.catalog import Catalog, TableEntry
+
+__all__ = ["Catalog", "TableEntry"]

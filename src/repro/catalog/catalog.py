@@ -1,0 +1,129 @@
+"""The system catalog: tables, their storage, and their access paths.
+
+Each table owns a :class:`~repro.storage.segment.Segment` of the shared
+paged file.  Flat (1NF) tables store tuples in a heap (no Mini Directories
+— Section 4.1); nested tables store complex objects through a
+:class:`~repro.storage.complex_object.ComplexObjectManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import (
+    DuplicateIndexError,
+    DuplicateTableError,
+    UnknownIndexError,
+    UnknownTableError,
+)
+from repro.index.manager import FlatIndex, NF2Index
+from repro.index.text import TextIndex
+from repro.model.schema import TableSchema
+from repro.storage.complex_object import ComplexObjectManager
+from repro.storage.heap import HeapFile
+from repro.storage.segment import Segment
+from repro.storage.tid import TID
+from repro.temporal.versions import VersionStore
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.temporal.subtuple_versions import TemporalObjectManager
+
+AnyIndex = Union[FlatIndex, NF2Index, TextIndex]
+
+
+@dataclass
+class TableEntry:
+    schema: TableSchema
+    segment: Segment
+    versioned: bool = False
+    #: temporal strategy: None, "object" (copy-on-write chains), or
+    #: "subtuple" (the paper's subtuple-manager versioning)
+    versioning: Optional[str] = None
+    heap: Optional[HeapFile] = None                      # flat tables
+    manager: Optional[ComplexObjectManager] = None       # nested tables
+    #: subtuple-level temporal storage (versioning == "subtuple")
+    temporal_manager: Optional["TemporalObjectManager"] = None
+    #: current top-level tuples, in insertion (= list) order
+    tids: list[TID] = field(default_factory=list)
+    #: logically deleted objects still readable via ASOF (subtuple mode)
+    history_tids: list[TID] = field(default_factory=list)
+    version_store: Optional[VersionStore] = None
+    #: root TID -> version-store object id (object-versioned tables)
+    object_ids: dict[TID, int] = field(default_factory=dict)
+    indexes: dict[str, AnyIndex] = field(default_factory=dict)
+
+    @property
+    def is_flat(self) -> bool:
+        return self.heap is not None
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def value_indexes(self) -> list[Union[FlatIndex, NF2Index]]:
+        return [i for i in self.indexes.values() if not isinstance(i, TextIndex)]
+
+    def text_indexes(self) -> list[TextIndex]:
+        return [i for i in self.indexes.values() if isinstance(i, TextIndex)]
+
+
+class Catalog:
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+        self._index_owner: dict[str, str] = {}  # index name -> table name
+
+    # -- tables -------------------------------------------------------------------
+
+    def add_table(self, entry: TableEntry) -> None:
+        if entry.name in self._tables:
+            raise DuplicateTableError(f"table {entry.name!r} already exists")
+        self._tables[entry.name] = entry
+
+    def table(self, name: str) -> TableEntry:
+        entry = self._tables.get(name)
+        if entry is None:
+            raise UnknownTableError(f"no table named {name!r}")
+        return entry
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def drop_table(self, name: str) -> TableEntry:
+        entry = self.table(name)
+        for index_name in list(entry.indexes):
+            self._index_owner.pop(index_name, None)
+        del self._tables[name]
+        return entry
+
+    def tables(self) -> list[TableEntry]:
+        return list(self._tables.values())
+
+    # -- indexes ----------------------------------------------------------------------
+
+    def add_index(self, table_name: str, index_name: str, index: AnyIndex) -> None:
+        entry = self.table(table_name)
+        if index_name in self._index_owner:
+            raise DuplicateIndexError(f"index {index_name!r} already exists")
+        entry.indexes[index_name] = index
+        self._index_owner[index_name] = table_name
+
+    def drop_index(self, index_name: str) -> None:
+        owner = self._index_owner.pop(index_name, None)
+        if owner is None:
+            raise UnknownIndexError(f"no index named {index_name!r}")
+        del self._tables[owner].indexes[index_name]
+
+    def index(self, index_name: str) -> AnyIndex:
+        owner = self._index_owner.get(index_name)
+        if owner is None:
+            raise UnknownIndexError(f"no index named {index_name!r}")
+        return self._tables[owner].indexes[index_name]
+
+    def index_owner(self, index_name: str) -> str:
+        owner = self._index_owner.get(index_name)
+        if owner is None:
+            raise UnknownIndexError(f"no index named {index_name!r}")
+        return owner

@@ -1,0 +1,1238 @@
+"""The DBMS facade: an embedded AIM-II.
+
+::
+
+    from repro import Database
+
+    db = Database()                      # in-memory; pass path= for a file
+    db.execute(\"\"\"CREATE TABLE DEPARTMENTS (
+        DNO INT, MGRNO INT,
+        PROJECTS TABLE OF (PNO INT, PNAME STRING,
+                           MEMBERS TABLE OF (EMPNO INT, FUNCTION STRING)),
+        BUDGET INT,
+        EQUIP TABLE OF (QU INT, TYPE STRING))\"\"\")
+    db.insert("DEPARTMENTS", {...})      # nested plain data
+    result = db.query(\"\"\"SELECT x.DNO FROM x IN DEPARTMENTS
+                          WHERE EXISTS y IN x.EQUIP: y.TYPE = 'PC/AT'\"\"\")
+
+The facade implements the executor's :class:`TableProvider` protocol, owns
+the buffer manager (whose counters benchmarks read), maintains indexes on
+every DML path, and exposes tuple names and temporal ASOF support.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Callable, Iterable, Iterator, Optional, Union
+
+from repro.catalog.catalog import Catalog, TableEntry
+from repro.errors import (
+    AccessPathError,
+    DataError,
+    ExecutionError,
+    QueryError,
+    StorageError as StorageError_,
+    TemporalError,
+    UnknownTableError,
+)
+from repro.index.addresses import AddressingMode
+from repro.index.manager import FlatIndex, IndexDefinition, NF2Index
+from repro.index.text import TextIndex
+from repro.model.ddl import parse_create_table
+from repro.model.schema import TableSchema
+from repro.model.values import TableValue, TupleValue
+from repro.names.tuple_names import TupleName, TupleNameService
+from repro.query import ast
+from repro.query.executor import Executor
+from repro.query.parser import parse_statement
+from repro.query.planner import candidate_roots, extract_conditions
+from repro.render import render_table
+from repro.storage.buffer import BufferManager
+from repro.storage.complex_object import ComplexObjectManager, OpenObject
+from repro.storage.heap import HeapFile
+from repro.storage.minidirectory import StorageStructure
+from repro.storage.pagedfile import DiskPagedFile, MemoryPagedFile
+from repro.storage.segment import Segment
+from repro.storage.tid import TID
+from repro.temporal.versions import Timestamp, VersionStore
+
+
+class Database:
+    """An embedded extended-NF2 DBMS instance."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        buffer_capacity: int = 512,
+        structure: StorageStructure = StorageStructure.SS3,
+    ):
+        self._file = DiskPagedFile(path) if path else MemoryPagedFile()
+        self.buffer = BufferManager(self._file, capacity=buffer_capacity)
+        self.catalog = Catalog()
+        self.structure = structure
+        self._executor = Executor(self)
+        #: set False to disable index-based access paths (benchmarks use it)
+        self.use_access_paths = True
+        #: filled by iterate_table_for_query with the last plan decision
+        self.last_plan = None
+        #: logical clock for default timestamps on subtuple-versioned tables
+        self._clock = 0.0
+        #: active transaction (single-user: at most one)
+        self._active_txn: Optional["_Transaction"] = None
+        self._load_catalog()
+
+    def _next_timestamp(self, at: Optional[Timestamp]) -> Timestamp:
+        from repro.temporal.versions import canonical_timestamp
+
+        if at is None:
+            self._clock += 1.0
+            return self._clock
+        self._clock = max(self._clock, canonical_timestamp(at))
+        return at
+
+    # ======================================================================
+    # DDL
+    # ======================================================================
+
+    def create_table(
+        self,
+        definition: Union[str, TableSchema],
+        versioned: bool = False,
+        versioning: str = "object",
+    ) -> TableSchema:
+        """Create a table from DDL text or a schema object.
+
+        ``versioned=True`` enables temporal support; ``versioning`` picks
+        the strategy: ``"object"`` (copy-on-write version chains) or
+        ``"subtuple"`` (the paper's subtuple-manager versioning, NF2
+        tables only).
+        """
+        schema = (
+            parse_create_table(definition) if isinstance(definition, str) else definition
+        )
+        if versioning not in ("object", "subtuple"):
+            raise TemporalError(f"unknown versioning strategy {versioning!r}")
+        segment = Segment(self.buffer, name=schema.name)
+        entry = TableEntry(
+            schema=schema,
+            segment=segment,
+            versioned=versioned,
+            versioning=versioning if versioned else None,
+        )
+        if versioned and versioning == "subtuple":
+            if schema.is_flat:
+                raise TemporalError(
+                    "subtuple versioning applies to NF2 tables; use "
+                    "versioning='object' for flat tables"
+                )
+            from repro.temporal.subtuple_versions import TemporalObjectManager
+
+            entry.temporal_manager = TemporalObjectManager(segment, self.structure)
+            entry.manager = entry.temporal_manager._base
+        elif schema.is_flat:
+            entry.heap = HeapFile(segment, schema)
+        else:
+            entry.manager = ComplexObjectManager(segment, self.structure)
+        if versioned and versioning == "object":
+            entry.version_store = VersionStore()
+        self.catalog.add_table(entry)
+        return schema
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    def create_index(
+        self,
+        name: str,
+        table: str,
+        attribute_path: Union[str, tuple[str, ...]],
+        mode: AddressingMode = AddressingMode.HIERARCHICAL,
+    ) -> None:
+        """Create a value index; existing rows are indexed immediately."""
+        entry = self.catalog.table(table)
+        path = _as_path(attribute_path)
+        definition = IndexDefinition(name=name, table=table, attribute_path=path, mode=mode)
+        definition.validate_against(entry.schema)
+        if entry.is_flat:
+            index: Union[FlatIndex, NF2Index] = FlatIndex(definition)
+            self.catalog.add_index(table, name, index)
+            for tid, row in entry.heap.scan():  # type: ignore[union-attr]
+                index.index_row(tid, row[path[0]])
+        else:
+            index = NF2Index(definition)
+            self.catalog.add_index(table, name, index)
+            for tid in entry.tids:
+                index.index_object(entry.manager.open(tid, entry.schema))  # type: ignore[union-attr]
+
+    def create_text_index(
+        self,
+        name: str,
+        table: str,
+        attribute_path: Union[str, tuple[str, ...]],
+        fragment_length: int = 3,
+    ) -> None:
+        entry = self.catalog.table(table)
+        if entry.is_flat:
+            raise AccessPathError(
+                "text indexes are defined on NF2 tables in this prototype"
+            )
+        path = _as_path(attribute_path)
+        definition = IndexDefinition(name=name, table=table, attribute_path=path)
+        index = TextIndex(definition, fragment_length=fragment_length)
+        index.validate_against(entry.schema)
+        self.catalog.add_index(table, name, index)
+        for tid in entry.tids:
+            index.index_object(entry.manager.open(tid, entry.schema))  # type: ignore[union-attr]
+
+    def drop_index(self, name: str) -> None:
+        self.catalog.drop_index(name)
+
+    def alter_table(
+        self,
+        table: str,
+        action: str,
+        attribute_path: Union[str, tuple[str, ...]],
+        payload: Optional[str] = None,
+        default: Any = None,
+    ) -> TableSchema:
+        """Schema evolution (offline migration; the paper lists schema
+        changes as future research).
+
+        * ``action='add'`` — *attribute_path* names the new atomic
+          attribute (dotted for nested levels), *payload* its type name,
+          *default* the value backfilled into existing tuples;
+        * ``action='drop'`` / ``action='rename'`` — *attribute_path* names
+          the victim; for rename, *payload* is the new name.
+
+        Existing objects are rewritten under the new schema.  Versioned
+        tables are rejected (their history carries the old schema), and so
+        are drops/renames of indexed attributes.
+        """
+        from repro.model import evolution
+        from repro.model.schema import atomic as make_atomic
+        from repro.model.types import AtomicType
+
+        entry = self.catalog.table(table)
+        if entry.versioned:
+            raise ExecutionError(
+                "ALTER TABLE on versioned tables is not supported (the "
+                "history was stored under the old schema)"
+            )
+        path = _as_path(attribute_path)
+        old_schema = entry.schema
+        if action == "add":
+            if payload is None:
+                raise ExecutionError("ADD needs a type name")
+            new_attr = make_atomic(path[-1], AtomicType.parse(payload))
+            if default is not None:
+                default = new_attr.atomic_type.validate(default)  # type: ignore[union-attr]
+            new_schema = evolution.add_attribute(old_schema, path[:-1], new_attr)
+            migrate = lambda row: evolution.add_value(row, path[:-1], path[-1], default)
+        elif action == "drop":
+            self._check_not_indexed(entry, path)
+            new_schema = evolution.drop_attribute(old_schema, path)
+            migrate = lambda row: evolution.drop_value(row, path)
+        elif action == "rename":
+            if payload is None:
+                raise ExecutionError("RENAME needs a new attribute name")
+            self._check_not_indexed(entry, path)
+            new_schema = evolution.rename_attribute(old_schema, path, payload)
+            migrate = lambda row: evolution.rename_value(row, path, payload)
+        else:
+            raise ExecutionError(f"unknown ALTER action {action!r}")
+
+        # Rewrite every stored tuple under the new schema.
+        rows = [self._fetch(entry, tid).to_plain() for tid in entry.tids]
+        for tid in list(entry.tids):
+            self.delete(table, tid)
+        if entry.is_flat != new_schema.is_flat:
+            raise ExecutionError(
+                "ALTER may not change a table between flat and nested"
+            )
+        entry.schema = new_schema
+        if entry.is_flat:
+            entry.heap.schema = new_schema  # type: ignore[union-attr]
+        for row in rows:
+            self.insert(table, migrate(row))
+        # Re-anchor index definitions whose paths contain a renamed step.
+        return new_schema
+
+    @staticmethod
+    def _check_not_indexed(entry: TableEntry, path: tuple[str, ...]) -> None:
+        for index in entry.indexes.values():
+            index_path = index.definition.attribute_path
+            if index_path[: len(path)] == path or path[: len(index_path)] == index_path:
+                raise ExecutionError(
+                    f"attribute {'.'.join(path)} is covered by index "
+                    f"{index.definition.name!r}; drop the index first"
+                )
+
+    # -- temporal access below the language (walk-through-time) ----------------
+
+    def history(self, table: str, tid: TID) -> list[tuple[float, float, TupleValue]]:
+        """Every stored version of the object currently at *tid*, as
+        ``(valid_from, valid_to, value)`` — the paper's walk-through-time
+        support at the subtuple-manager level (not surfaced in the query
+        language, matching the prototype's state)."""
+        entry = self.catalog.table(table)
+        if entry.version_store is None:
+            raise TemporalError(f"table {table!r} is not versioned")
+        object_id = entry.object_ids.get(tid)
+        if object_id is None:
+            raise TemporalError(f"{tid} is not a current version in {table!r}")
+        out = []
+        for version in entry.version_store.history(object_id):
+            if version.root_tid is None:
+                continue
+            out.append(
+                (version.valid_from, version.valid_to,
+                 self._fetch(entry, version.root_tid))
+            )
+        return out
+
+    def walk_through_time(
+        self, table: str, tid: TID, start: Timestamp, end: Timestamp
+    ) -> list[tuple[float, float, TupleValue]]:
+        """The versions of one object whose validity intervals overlap
+        ``[start, end)``."""
+        from repro.temporal.versions import canonical_timestamp
+
+        lo = canonical_timestamp(start)
+        hi = canonical_timestamp(end)
+        return [
+            (valid_from, valid_to, value)
+            for valid_from, valid_to, value in self.history(table, tid)
+            if valid_from < hi and valid_to > lo
+        ]
+
+    # ======================================================================
+    # DML (programmatic)
+    # ======================================================================
+
+    def insert(
+        self, table: str, row: Any, at: Optional[Timestamp] = None
+    ) -> TID:
+        """Insert one (possibly nested) tuple given as plain data."""
+        entry = self.catalog.table(table)
+        value = TupleValue.from_plain(entry.schema, row)
+        if self._active_txn is not None:
+            self._txn_guard(entry)
+            self._active_txn.touch(table)
+        return self._insert_value(entry, value, at)
+
+    def _txn_guard(self, entry: TableEntry) -> None:
+        if self._active_txn is not None and entry.versioned:
+            raise ExecutionError(
+                "versioned tables cannot be mutated inside a transaction "
+                "(their history cannot be unwritten)"
+            )
+
+    def insert_many(
+        self, table: str, rows: Iterable[Any], at: Optional[Timestamp] = None
+    ) -> list[TID]:
+        return [self.insert(table, row, at=at) for row in rows]
+
+    def _insert_value(
+        self, entry: TableEntry, value: TupleValue, at: Optional[Timestamp]
+    ) -> TID:
+        if entry.temporal_manager is not None:
+            tid = entry.temporal_manager.store(
+                entry.schema, value, self._next_timestamp(at)
+            )
+            entry.tids.append(tid)
+            self._index_object(entry, tid)
+            return tid
+        if entry.is_flat:
+            tid = entry.heap.insert(value)  # type: ignore[union-attr]
+            for index in entry.indexes.values():
+                assert isinstance(index, FlatIndex)
+                index.index_row(tid, value[index.definition.attribute_path[0]])
+        else:
+            tid = entry.manager.store(entry.schema, value)  # type: ignore[union-attr]
+            self._index_object(entry, tid)
+        entry.tids.append(tid)
+        if entry.version_store is not None:
+            object_id = entry.version_store.record_insert(tid, at=at)
+            entry.object_ids[tid] = object_id
+        return tid
+
+    def delete(self, table: str, tid: TID, at: Optional[Timestamp] = None) -> None:
+        """Delete one top-level tuple/object by TID."""
+        entry = self.catalog.table(table)
+        if tid not in entry.tids:
+            raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
+        if self._active_txn is not None:
+            self._txn_guard(entry)
+            self._active_txn.touch(table)
+        self._deindex(entry, tid)
+        entry.tids.remove(tid)
+        if entry.temporal_manager is not None:
+            entry.temporal_manager.delete_object(
+                tid, entry.schema, self._next_timestamp(at)
+            )
+            entry.history_tids.append(tid)
+            return
+        if entry.version_store is not None:
+            object_id = entry.object_ids.pop(tid)
+            entry.version_store.record_delete(object_id, at=at)
+            return  # history keeps the stored bytes
+        if entry.is_flat:
+            entry.heap.delete(tid)  # type: ignore[union-attr]
+        else:
+            entry.manager.delete(tid, entry.schema)  # type: ignore[union-attr]
+
+    def update(
+        self,
+        table: str,
+        tid: TID,
+        changes: Union[dict, Callable[[OpenObject], None]],
+        at: Optional[Timestamp] = None,
+    ) -> TID:
+        """Update one tuple/object.
+
+        *changes* is either a mapping of top-level atomic attributes to new
+        values, or — for NF2 tables — a callable receiving the
+        :class:`OpenObject` for arbitrary partial updates.  Returns the
+        (possibly new, if versioned) TID.
+        """
+        entry = self.catalog.table(table)
+        if tid not in entry.tids:
+            raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
+        if self._active_txn is not None:
+            self._txn_guard(entry)
+            self._active_txn.touch(table)
+        if entry.temporal_manager is not None:
+            when = self._next_timestamp(at)
+            if isinstance(changes, dict):
+                entry.temporal_manager.update_atoms(
+                    tid, entry.schema, [], changes, when
+                )
+            else:
+                changes(entry.temporal_manager.mutator(tid, entry.schema, when))
+            self._index_object(entry, tid)
+            return tid
+        if entry.version_store is not None:
+            return self._update_versioned(entry, tid, changes, at)
+        if entry.is_flat:
+            if not isinstance(changes, dict):
+                raise ExecutionError("flat tables take a mapping of changes")
+            row = entry.heap.fetch(tid).replace(**changes)  # type: ignore[union-attr]
+            entry.heap.update(tid, row)  # type: ignore[union-attr]
+            for index in entry.indexes.values():
+                assert isinstance(index, FlatIndex)
+                index.index_row(tid, row[index.definition.attribute_path[0]])
+            return tid
+        obj = entry.manager.open(tid, entry.schema)  # type: ignore[union-attr]
+        if isinstance(changes, dict):
+            obj.update_atoms([], changes)
+        else:
+            changes(obj)
+        self._index_object(entry, tid)
+        return tid
+
+    def _update_versioned(
+        self,
+        entry: TableEntry,
+        tid: TID,
+        changes: Union[dict, Callable[[OpenObject], None]],
+        at: Optional[Timestamp],
+    ) -> TID:
+        """Copy-on-write: the old version's bytes stay as history."""
+        current = self._fetch(entry, tid)
+        if isinstance(changes, dict):
+            new_value = current.replace(**changes)
+        else:
+            # Apply the mutator to a scratch copy stored temporarily.
+            if entry.is_flat:
+                raise ExecutionError("flat tables take a mapping of changes")
+            scratch_tid = entry.manager.store(entry.schema, current)  # type: ignore[union-attr]
+            scratch = entry.manager.open(scratch_tid, entry.schema)  # type: ignore[union-attr]
+            changes(scratch)
+            new_value = scratch.materialize()
+            entry.manager.delete(scratch_tid, entry.schema)  # type: ignore[union-attr]
+        if entry.is_flat:
+            new_tid = entry.heap.insert(new_value)  # type: ignore[union-attr]
+            for index in entry.indexes.values():
+                assert isinstance(index, FlatIndex)
+                index.index_row(new_tid, new_value[index.definition.attribute_path[0]])
+        else:
+            new_tid = entry.manager.store(entry.schema, new_value)  # type: ignore[union-attr]
+            self._index_object(entry, new_tid)
+        self._deindex(entry, tid)
+        position = entry.tids.index(tid)
+        entry.tids[position] = new_tid
+        object_id = entry.object_ids.pop(tid)
+        entry.object_ids[new_tid] = object_id
+        entry.version_store.record_update(object_id, new_tid, at=at)  # type: ignore[union-attr]
+        return new_tid
+
+    # -- index maintenance helpers ------------------------------------------------
+
+    def _index_object(self, entry: TableEntry, tid: TID) -> None:
+        if not entry.indexes:
+            return
+        if entry.temporal_manager is not None:
+            obj = entry.temporal_manager.open_current(tid, entry.schema)
+        else:
+            obj = entry.manager.open(tid, entry.schema)  # type: ignore[union-attr]
+        for index in entry.indexes.values():
+            index.index_object(obj)  # NF2Index and TextIndex share this API
+
+    def _deindex(self, entry: TableEntry, tid: TID) -> None:
+        for index in entry.indexes.values():
+            if isinstance(index, FlatIndex):
+                index.deindex_row(tid)
+            else:
+                index.deindex_object(tid)
+
+    # ======================================================================
+    # Statements (the language interface)
+    # ======================================================================
+
+    def execute(self, text: str) -> Any:
+        """Execute any statement.  Queries return a
+        :class:`~repro.model.values.TableValue`; DML returns the affected
+        tuple count; DDL returns the created schema / ``None``."""
+        statement = parse_statement(text)
+        if isinstance(statement, ast.Query):
+            return self._executor.run(statement)
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self.create_table(statement.ddl_text, versioned=statement.versioned)
+        if isinstance(statement, ast.DropTableStatement):
+            self.drop_table(statement.table)
+            return None
+        if isinstance(statement, ast.CreateIndexStatement):
+            if statement.text:
+                self.create_text_index(
+                    statement.name, statement.table, statement.attribute_path
+                )
+            else:
+                self.create_index(
+                    statement.name, statement.table, statement.attribute_path
+                )
+            return None
+        if isinstance(statement, ast.DropIndexStatement):
+            self.drop_index(statement.name)
+            return None
+        if isinstance(statement, ast.SubInsertStatement):
+            from repro.query.dml import PartialDML
+
+            return PartialDML(self).execute_insert(statement)
+        if isinstance(statement, ast.SubUpdateStatement):
+            from repro.query.dml import PartialDML
+
+            return PartialDML(self).execute_update(statement)
+        if isinstance(statement, ast.SubDeleteStatement):
+            from repro.query.dml import PartialDML
+
+            return PartialDML(self).execute_delete(statement)
+        if isinstance(statement, ast.AlterTableStatement):
+            return self.alter_table(
+                statement.table,
+                statement.action,
+                statement.attribute_path,
+                statement.payload,
+            )
+        raise QueryError(f"unhandled statement {statement!r}")  # pragma: no cover
+
+    def query(self, text: str) -> TableValue:
+        """Execute a SELECT query."""
+        result = self.execute(text)
+        if not isinstance(result, TableValue):
+            raise QueryError("statement was not a query")
+        return result
+
+    def explain(self, text: str) -> str:
+        """Describe how a query would be executed (without running it):
+        the binding loops, and the access path chosen for the first range.
+        """
+        statement = parse_statement(text)
+        if not isinstance(statement, ast.Query):
+            return f"statement: {type(statement).__name__}"
+        from repro.query.binder import Binder
+
+        schema = Binder(self).bind_query(statement)
+        lines = ["query plan:"]
+        for index, range_ in enumerate(statement.ranges):
+            source = range_.source.describe()
+            lines.append(f"  loop {index + 1}: {range_.var} IN {source}")
+        first = statement.ranges[0]
+        if first.source.table is not None and first.source.asof is None:
+            entry = self.catalog.table(first.source.table)
+            conditions = extract_conditions(statement, first.var)
+            if conditions is None:
+                lines.append("  access: full scan (WHERE not index-coverable)")
+            elif not conditions:
+                lines.append("  access: full scan (no indexable conditions)")
+            else:
+                roots, report = candidate_roots(entry, conditions)
+                if roots is None:
+                    lines.append(
+                        "  access: full scan (no matching index; "
+                        f"{len(conditions)} indexable condition(s) found)"
+                    )
+                else:
+                    lines.append(
+                        f"  access: index ({', '.join(report.used_indexes)}) -> "
+                        f"{len(roots)} candidate object(s)"
+                    )
+                    if report.prefix_joins:
+                        lines.append(
+                            f"  prefix joins on hierarchical addresses: "
+                            f"{report.prefix_joins}"
+                        )
+        else:
+            lines.append("  access: materialized source (path or ASOF)")
+        out_kind = "list" if schema.ordered else "relation"
+        lines.append(
+            f"  result: {out_kind} ({', '.join(schema.attribute_names)})"
+        )
+        return "\n".join(lines)
+
+    def _execute_insert(self, statement: ast.InsertStatement) -> int:
+        entry = self.catalog.table(statement.table)
+        for literal in statement.rows:
+            plain = _literal_to_plain(literal, entry.schema)
+            self.insert(statement.table, plain)
+        return len(statement.rows)
+
+    def _execute_update(self, statement: ast.UpdateStatement) -> int:
+        entry = self.catalog.table(statement.table)
+        matches = self._match_tuples(entry, statement.var, statement.where)
+        for tid, row in matches:
+            env = {statement.var: row}
+            changes = {}
+            for name, expr in statement.assignments:
+                attr = entry.schema.attribute(name)
+                if not attr.is_atomic:
+                    raise ExecutionError(
+                        f"UPDATE assigns atomic attributes; {name!r} is a "
+                        "subtable (use the partial-update API)"
+                    )
+                changes[name] = self._executor._eval_expression(expr, env)
+            self.update(statement.table, tid, changes)
+        return len(matches)
+
+    def _execute_delete(self, statement: ast.DeleteStatement) -> int:
+        entry = self.catalog.table(statement.table)
+        matches = self._match_tuples(entry, statement.var, statement.where)
+        for tid, _row in matches:
+            self.delete(statement.table, tid)
+        return len(matches)
+
+    def _match_tuples(
+        self, entry: TableEntry, var: str, where: Optional[ast.Predicate]
+    ) -> list[tuple[TID, TupleValue]]:
+        out = []
+        for tid in list(entry.tids):
+            row = self._fetch(entry, tid)
+            if where is None or self._executor._eval_predicate(where, {var: row}):
+                out.append((tid, row))
+        return out
+
+    # ======================================================================
+    # TableProvider protocol (executor + binder)
+    # ======================================================================
+
+    def table_schema(self, name: str) -> TableSchema:
+        return self.catalog.table(name).schema
+
+    def is_versioned(self, name: str) -> bool:
+        return self.catalog.table(name).versioned
+
+    def iterate_table_for_query(
+        self,
+        name: str,
+        asof: Optional[datetime.date],
+        query: ast.Query,
+        var: str,
+    ) -> Iterator[TupleValue]:
+        entry = self.catalog.table(name)
+        self.last_plan = None
+        if self.use_access_paths and asof is None and entry.indexes:
+            conditions = extract_conditions(query, var)
+            if conditions:
+                roots, report = candidate_roots(entry, conditions)
+                if roots is not None:
+                    self.last_plan = report
+                    current = set(entry.tids)
+                    for tid in roots:
+                        if tid in current:
+                            yield self._fetch(entry, tid)
+                    return
+        yield from self.iterate_table(name, asof)
+
+    def lookup_rows(
+        self, name: str, attribute: str, value: Any
+    ) -> Optional[list[TupleValue]]:
+        """Index-nested-loop support: the current tuples of *name* whose
+        top-level *attribute* equals *value*, answered through an index —
+        ``None`` when no suitable index exists (callers scan)."""
+        if not self.use_access_paths:
+            return None
+        entry = self.catalog.table(name)
+        for index in entry.indexes.values():
+            if isinstance(index, TextIndex):
+                continue
+            if index.definition.attribute_path != (attribute,):
+                continue
+            if isinstance(index, FlatIndex):
+                return [entry.heap.fetch(tid) for tid in index.search(value)]  # type: ignore[union-attr]
+            if index.definition.mode is AddressingMode.DATA_TID:
+                continue
+            current = set(entry.tids)
+            return [
+                self._fetch(entry, root)
+                for root in index.roots_for(value)
+                if root in current
+            ]
+        return None
+
+    def _current_tids(
+        self, entry: TableEntry, asof: Optional[datetime.date]
+    ) -> list[TID]:
+        if asof is None:
+            return list(entry.tids)
+        if entry.temporal_manager is not None:
+            return [
+                tid
+                for tid in entry.tids + entry.history_tids
+                if entry.temporal_manager.exists_at(tid, asof)
+            ]
+        if entry.version_store is None:
+            raise TemporalError(f"table {entry.name!r} is not versioned")
+        return entry.version_store.roots_asof(asof)
+
+    def iterate_table(
+        self, name: str, asof: Optional[datetime.date] = None
+    ) -> Iterator[TupleValue]:
+        entry = self.catalog.table(name)
+        if asof is not None and entry.temporal_manager is not None:
+            for tid in self._current_tids(entry, asof):
+                yield entry.temporal_manager.load_asof(tid, entry.schema, asof)
+            return
+        for tid in self._current_tids(entry, asof):
+            yield self._fetch(entry, tid)
+
+    def _fetch(self, entry: TableEntry, tid: TID) -> TupleValue:
+        if entry.temporal_manager is not None:
+            return entry.temporal_manager.load(tid, entry.schema)
+        if entry.is_flat:
+            return entry.heap.fetch(tid)  # type: ignore[union-attr]
+        return entry.manager.load(tid, entry.schema)  # type: ignore[union-attr]
+
+    # ======================================================================
+    # Object-level access
+    # ======================================================================
+
+    def tids(self, table: str) -> list[TID]:
+        """Current top-level TIDs (root MD subtuples / heap tuples)."""
+        return list(self.catalog.table(table).tids)
+
+    def open_object(self, table: str, tid: TID) -> OpenObject:
+        """Open a complex object for navigation / partial reads.
+
+        Mutations through the returned handle bypass index maintenance —
+        use :meth:`update` with a callable for indexed tables.
+        """
+        entry = self.catalog.table(table)
+        if entry.is_flat:
+            raise ExecutionError(f"{table!r} is a flat table; fetch its tuples")
+        return entry.manager.open(tid, entry.schema)  # type: ignore[union-attr]
+
+    def table_value(self, table: str, asof: Optional[datetime.date] = None) -> TableValue:
+        """The table's full current (or ASOF) contents."""
+        entry = self.catalog.table(table)
+        out = TableValue(entry.schema)
+        out.rows.extend(self.iterate_table(table, asof))
+        return out
+
+    def render(self, table: str) -> str:
+        return render_table(self.table_value(table))
+
+    # -- workstation check-out / check-in -----------------------------------------
+
+    def checkout(self, table: str, tid: TID) -> bytes:
+        """Export one complex object as a self-contained byte bundle (the
+        paper's page-level "sent to a workstation"); the original stays in
+        place."""
+        entry = self.catalog.table(table)
+        if entry.manager is None or entry.temporal_manager is not None:
+            raise ExecutionError(
+                "checkout applies to plain NF2 tables"
+            )
+        return entry.manager.export_object(tid).to_bytes()
+
+    def checkin(self, table: str, blob: bytes) -> TID:
+        """Import a checked-out bundle as a new complex object of *table*
+        (typically on another Database instance — the workstation)."""
+        from repro.storage.complex_object import ObjectBundle
+
+        entry = self.catalog.table(table)
+        if entry.manager is None or entry.temporal_manager is not None:
+            raise ExecutionError("checkin applies to plain NF2 tables")
+        if self._active_txn is not None:
+            self._active_txn.touch(table)
+        tid = entry.manager.import_object(ObjectBundle.from_bytes(blob))
+        entry.tids.append(tid)
+        self._index_object(entry, tid)
+        return tid
+
+    # -- tuple names -----------------------------------------------------------------
+
+    def names(self, table: str) -> TupleNameService:
+        entry = self.catalog.table(table)
+        if entry.manager is None:
+            raise ExecutionError("tuple names exist for NF2 tables")
+        return TupleNameService(entry.manager, entry.schema)
+
+    def resolve_name(self, table: str, name: Union[str, TupleName]):
+        if isinstance(name, str):
+            name = TupleName.decode(name)
+        return self.names(table).resolve(name)
+
+    # ======================================================================
+    # Maintenance
+    # ======================================================================
+
+    # ======================================================================
+    # Transactions (single-user atomicity)
+    # ======================================================================
+
+    def transaction(self) -> "_Transaction":
+        """A single-user atomicity scope::
+
+            with db.transaction():
+                db.execute("UPDATE ...")
+                db.execute("DELETE ...")   # an exception rolls both back
+
+        Rollback restores tuple *contents* by before-image (physical TIDs
+        of restored tuples may differ).  Mutating versioned tables inside a
+        transaction is rejected — their history is already an audit trail
+        and cannot be unwritten.
+        """
+        return _Transaction(self)
+
+    # ======================================================================
+    # Storage reporting
+    # ======================================================================
+
+    def storage_report(self) -> dict:
+        """Per-table storage statistics: pages, fill factor, and — for NF2
+        tables — the MD/data page split and subtuple accounting."""
+        from repro.storage.constants import PAGE_SIZE
+
+        tables = {}
+        for entry in self.catalog.tables():
+            pages = entry.segment.pages
+            used = 0
+            for page_no in pages:
+                used += PAGE_SIZE - entry.segment.free_space_on(page_no)
+            report: dict = {
+                "kind": "1NF" if entry.is_flat else "NF2",
+                "tuples": len(entry.tids),
+                "pages": len(pages),
+                "bytes_used": used,
+                "fill_factor": (
+                    round(used / (len(pages) * PAGE_SIZE), 3) if pages else 0.0
+                ),
+            }
+            if not entry.is_flat and entry.tids:
+                manager = entry.manager
+                md_pages = data_pages = 0
+                md_subtuples = data_subtuples = 0
+                for tid in entry.tids:
+                    if entry.temporal_manager is not None:
+                        obj = entry.temporal_manager.open_current(tid, entry.schema)
+                        space = obj.space
+                    else:
+                        obj = manager.open(tid, entry.schema)  # type: ignore[union-attr]
+                        space = obj.space
+                    for page_no, is_md in zip(space.page_list, space.page_roles):
+                        if page_no is None:
+                            continue
+                        if is_md:
+                            md_pages += 1
+                        else:
+                            data_pages += 1
+                    if entry.temporal_manager is None:
+                        stats = manager.statistics(tid, entry.schema)  # type: ignore[union-attr]
+                        md_subtuples += stats["md_subtuples"]
+                        data_subtuples += stats["data_subtuples"]
+                report["md_pages"] = md_pages
+                report["data_pages"] = data_pages
+                if entry.temporal_manager is None:
+                    report["md_subtuples"] = md_subtuples
+                    report["data_subtuples"] = data_subtuples
+            tables[entry.name] = report
+        return {
+            "total_pages": self._file.page_count,
+            "buffer": self.io_stats.snapshot(),
+            "tables": tables,
+        }
+
+    # ======================================================================
+    # Integrity checking
+    # ======================================================================
+
+    def verify(self, table: Optional[str] = None) -> list[str]:
+        """Consistency check (CHECK TABLE): walks every stored object,
+        validates Mini-Directory structure, page-pool separation, and
+        index contents.  Returns a list of problem descriptions (empty =
+        healthy)."""
+        from repro.storage.subtuple import KIND_DATA, subtuple_kind
+
+        problems: list[str] = []
+        entries = (
+            [self.catalog.table(table)] if table is not None else self.catalog.tables()
+        )
+        for entry in entries:
+            name = entry.name
+            # every current tuple must load and re-validate against its schema
+            loaded: dict[TID, TupleValue] = {}
+            for tid in entry.tids:
+                try:
+                    loaded[tid] = self._fetch(entry, tid)
+                except Exception as exc:  # noqa: BLE001 — report, don't die
+                    problems.append(f"{name}: {tid} failed to load: {exc}")
+            if entry.is_flat:
+                scanned = {tid for tid, _row in entry.heap.scan()}  # type: ignore[union-attr]
+                missing = set(entry.tids) - scanned
+                extra = scanned - set(entry.tids)
+                if missing:
+                    problems.append(f"{name}: heap lost tuples {sorted(missing)}")
+                if extra:
+                    problems.append(f"{name}: heap has orphan tuples {sorted(extra)}")
+            else:
+                problems.extend(self._verify_objects(entry, loaded))
+            problems.extend(self._verify_indexes(entry, loaded))
+        return problems
+
+    def _verify_objects(
+        self, entry: TableEntry, loaded: dict[TID, TupleValue]
+    ) -> list[str]:
+        from repro.storage.subtuple import KIND_DATA, subtuple_kind
+
+        problems: list[str] = []
+        for tid in entry.tids:
+            if tid not in loaded:
+                continue
+            try:
+                if entry.temporal_manager is not None:
+                    obj = entry.temporal_manager.open_current(tid, entry.schema)
+                else:
+                    obj = entry.manager.open(tid, entry.schema)  # type: ignore[union-attr]
+            except Exception as exc:  # noqa: BLE001
+                problems.append(f"{entry.name}: {tid} structure unreadable: {exc}")
+                continue
+            # page list entries must be owned by this table's segment
+            for page_no in obj.space.pages:
+                if not entry.segment.owns(page_no):
+                    problems.append(
+                        f"{entry.name}: {tid} page list names foreign page "
+                        f"{page_no}"
+                    )
+            # pool separation: no data subtuple on an MD page
+            for page_no, is_md in zip(obj.space.page_list, obj.space.page_roles):
+                if page_no is None or not is_md:
+                    continue
+                page = self.buffer.fetch(page_no)
+                try:
+                    kinds = {
+                        subtuple_kind(payload)
+                        for _slot, flag, payload in page.slots()
+                        if flag == 0 and payload
+                    }
+                finally:
+                    self.buffer.unpin(page_no)
+                if KIND_DATA in kinds:
+                    problems.append(
+                        f"{entry.name}: {tid} has data subtuples on MD page "
+                        f"{page_no}"
+                    )
+        return problems
+
+    def _verify_indexes(
+        self, entry: TableEntry, loaded: dict[TID, TupleValue]
+    ) -> list[str]:
+        problems: list[str] = []
+        for index_name, index in entry.indexes.items():
+            if isinstance(index, TextIndex):
+                continue
+            if isinstance(index, FlatIndex):
+                attribute = index.definition.attribute_path[0]
+                for tid, row in loaded.items():
+                    key = row[attribute]
+                    if key is not None and tid not in index.search(key):
+                        problems.append(
+                            f"{entry.name}: index {index_name} misses "
+                            f"{tid} (key {key!r})"
+                        )
+                continue
+            path = index.definition.attribute_path
+            for tid, row in loaded.items():
+                for key in _keys_along_path(row, path):
+                    hits = index.search(key)
+                    roots = {
+                        a.root if hasattr(a, "root") else a for a in hits
+                    }
+                    if index.definition.mode is not AddressingMode.DATA_TID and tid not in roots:
+                        problems.append(
+                            f"{entry.name}: index {index_name} misses "
+                            f"{tid} (key {key!r})"
+                        )
+        return problems
+
+    @property
+    def _catalog_path(self) -> Optional[str]:
+        if isinstance(self._file, DiskPagedFile):
+            return self._file.path + ".catalog.json"
+        return None
+
+    def save(self) -> None:
+        """Flush pages and persist the catalog (disk-backed databases).
+
+        The catalog lives in a JSON sidecar next to the page file; value
+        and text indexes are rebuilt on reopen (their definitions are
+        saved, not their trees).
+        """
+        import json
+
+        path = self._catalog_path
+        if path is None:
+            raise StorageError_(
+                "save() needs a disk-backed database (pass path= to Database)"
+            )
+        from repro.model.ddl import schema_to_ddl
+
+        tables = []
+        for entry in self.catalog.tables():
+            indexes = []
+            for name, index in entry.indexes.items():
+                definition = index.definition
+                indexes.append(
+                    {
+                        "name": name,
+                        "path": list(definition.attribute_path),
+                        "text": isinstance(index, TextIndex),
+                        "mode": definition.mode.value,
+                        "fragment_length": getattr(index, "fragment_length", None),
+                    }
+                )
+            tables.append(
+                {
+                    "ddl": schema_to_ddl(entry.schema),
+                    "versioned": entry.versioned,
+                    "versioning": entry.versioning,
+                    "segment": entry.segment.state(),
+                    "tids": [[t.page, t.slot] for t in entry.tids],
+                    "history_tids": [
+                        [t.page, t.slot] for t in entry.history_tids
+                    ],
+                    "version_store": (
+                        entry.version_store.state()
+                        if entry.version_store is not None
+                        else None
+                    ),
+                    "object_ids": [
+                        [[t.page, t.slot], oid]
+                        for t, oid in entry.object_ids.items()
+                    ],
+                    "indexes": indexes,
+                }
+            )
+        self.flush()
+        # atomic replace: a crash mid-save must not corrupt the catalog
+        temp = path + ".tmp"
+        with open(temp, "w") as handle:
+            json.dump({"format": 1, "tables": tables}, handle)
+        import os
+
+        os.replace(temp, path)
+
+    def _load_catalog(self) -> None:
+        import json
+        import os
+
+        path = self._catalog_path
+        if path is None or not os.path.exists(path):
+            return
+        with open(path) as handle:
+            state = json.load(handle)
+        from repro.model.ddl import parse_create_table
+        from repro.storage.segment import Segment as _Segment
+
+        for table_state in state["tables"]:
+            schema = parse_create_table(table_state["ddl"])
+            segment = _Segment.restore(self.buffer, table_state["segment"])
+            versioning = table_state.get("versioning")
+            entry = TableEntry(
+                schema=schema, segment=segment,
+                versioned=table_state["versioned"],
+                versioning=versioning,
+            )
+            if versioning == "subtuple":
+                from repro.temporal.subtuple_versions import TemporalObjectManager
+
+                entry.temporal_manager = TemporalObjectManager(
+                    segment, self.structure
+                )
+                entry.manager = entry.temporal_manager._base
+            elif schema.is_flat:
+                entry.heap = HeapFile(segment, schema)
+            else:
+                entry.manager = ComplexObjectManager(segment, self.structure)
+            entry.tids = [TID(*pair) for pair in table_state["tids"]]
+            entry.history_tids = [
+                TID(*pair) for pair in table_state.get("history_tids", [])
+            ]
+            if table_state["version_store"] is not None:
+                entry.version_store = VersionStore.restore(
+                    table_state["version_store"]
+                )
+                entry.object_ids = {
+                    TID(*tid): oid for tid, oid in table_state["object_ids"]
+                }
+            self.catalog.add_table(entry)
+            for index_state in table_state["indexes"]:
+                if index_state["text"]:
+                    self.create_text_index(
+                        index_state["name"], schema.name,
+                        tuple(index_state["path"]),
+                        fragment_length=index_state["fragment_length"] or 3,
+                    )
+                else:
+                    self.create_index(
+                        index_state["name"], schema.name,
+                        tuple(index_state["path"]),
+                        mode=AddressingMode(index_state["mode"]),
+                    )
+
+    @property
+    def io_stats(self):
+        return self.buffer.stats
+
+    def reset_io_stats(self) -> None:
+        self.buffer.stats.reset()
+
+    def flush(self) -> None:
+        self.buffer.flush_all()
+
+    def close(self) -> None:
+        self.flush()
+        self._file.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+class _Transaction:
+    """Single-user atomicity via first-touch table snapshots.
+
+    The first mutation of each table inside the scope captures that
+    table's full contents; rollback restores touched tables wholesale.
+    Simple and identity-proof (physical TIDs are not trusted across
+    delete/re-insert cycles); adequate for the prototype's single-user
+    operation.
+    """
+
+    def __init__(self, db: Database):
+        self._db = db
+        self._snapshots: dict[str, list[dict]] = {}
+
+    def touch(self, table: str) -> None:
+        if table in self._snapshots:
+            return
+        self._snapshots[table] = [
+            row.to_plain() for row in self._db.iterate_table(table)
+        ]
+
+    def __enter__(self) -> "_Transaction":
+        if self._db._active_txn is not None:
+            raise ExecutionError("a transaction is already active")
+        self._db._active_txn = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._db._active_txn = None
+        if exc_type is not None:
+            self.rollback()
+        return False  # propagate the exception after rolling back
+
+    def rollback(self) -> None:
+        """Restore every touched table to its snapshot."""
+        db = self._db
+        for table, rows in self._snapshots.items():
+            entry = db.catalog.table(table)
+            for tid in list(entry.tids):
+                db.delete(table, tid)
+            for row in rows:
+                db.insert(table, row)
+        self._snapshots.clear()
+
+
+def _keys_along_path(row: TupleValue, path: tuple[str, ...]):
+    """Every non-null value of *path* inside one (nested) tuple."""
+    if len(path) == 1:
+        value = row[path[0]]
+        if value is not None:
+            yield value
+        return
+    for child in row[path[0]]:
+        yield from _keys_along_path(child, path[1:])
+
+
+def _as_path(path: Union[str, tuple[str, ...]]) -> tuple[str, ...]:
+    if isinstance(path, str):
+        return tuple(part for part in path.split(".") if part)
+    return tuple(path)
+
+
+def _literal_to_plain(literal: ast.TupleLiteral, schema: TableSchema) -> dict:
+    """Convert an INSERT tuple literal to plain nested data, checking the
+    bracket kinds ('{}' relations vs '<>' lists) against the schema."""
+    if len(literal.values) != len(schema.attributes):
+        raise DataError(
+            f"INSERT into {schema.name!r} needs {len(schema.attributes)} "
+            f"values, got {len(literal.values)}"
+        )
+    out: dict = {}
+    for attr, value in zip(schema.attributes, literal.values):
+        if isinstance(value, ast.TableLiteral):
+            if not attr.is_table:
+                raise DataError(f"attribute {attr.name!r} is atomic")
+            assert attr.table is not None
+            if value.ordered != attr.table.ordered:
+                wanted = "'<...>'" if attr.table.ordered else "'{...}'"
+                raise DataError(
+                    f"attribute {attr.name!r} is "
+                    f"{'a list' if attr.table.ordered else 'a relation'}; "
+                    f"use {wanted}"
+                )
+            out[attr.name] = [
+                _literal_to_plain(row, attr.table) for row in value.rows
+            ]
+        elif isinstance(value, ast.Literal):
+            if attr.is_table:
+                raise DataError(
+                    f"attribute {attr.name!r} is table-valued; use "
+                    f"{'<...>' if attr.table.ordered else '{...}'}"  # type: ignore[union-attr]
+                )
+            out[attr.name] = value.value
+        else:  # pragma: no cover
+            raise DataError(f"unexpected literal {value!r}")
+    return out

@@ -1,0 +1,6 @@
+"""Datasets: the paper's example tables and synthetic workload generators."""
+
+from repro.datasets import paper
+from repro.datasets.generator import DepartmentsGenerator, ReportsGenerator
+
+__all__ = ["paper", "DepartmentsGenerator", "ReportsGenerator"]

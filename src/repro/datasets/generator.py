@@ -1,0 +1,177 @@
+"""Seeded synthetic workload generators.
+
+The paper's measurements concern *shape* (fan-out, object size, clustering),
+so the generators produce data with the same schema as the paper's examples
+but parameterized cardinalities.  Everything is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.datasets import paper
+from repro.model.values import TableValue
+
+FUNCTIONS = ("Leader", "Consultant", "Secretary", "Staff")
+EQUIPMENT_TYPES = ("3278", "3279", "3179", "4361", "PC", "PC/XT", "PC/AT", "PC/GA")
+
+
+@dataclass
+class DepartmentsGenerator:
+    """Generate DEPARTMENTS-shaped complex objects.
+
+    Parameters mirror the knobs the paper's storage discussion turns on: the
+    number of complex objects, the subtable fan-outs (a subtable "may consist
+    of thousands of tuples"), and the share of consultants (selectivity of
+    the Section 4.2 index queries).
+    """
+
+    departments: int = 10
+    projects_per_department: int = 3
+    members_per_project: int = 4
+    equipment_per_department: int = 3
+    consultant_share: float = 0.25
+    seed: int = 42
+
+    def rows(self) -> list[dict]:
+        rng = random.Random(self.seed)
+        out: list[dict] = []
+        next_empno = 10_000
+        for index in range(self.departments):
+            dno = 100 + index
+            projects = []
+            for project_index in range(self.projects_per_department):
+                members = []
+                for member_index in range(self.members_per_project):
+                    if member_index == 0:
+                        function = "Leader"
+                    elif rng.random() < self.consultant_share:
+                        function = "Consultant"
+                    else:
+                        function = rng.choice(("Secretary", "Staff"))
+                    members.append({"EMPNO": next_empno, "FUNCTION": function})
+                    next_empno += 1
+                projects.append(
+                    {
+                        "PNO": 10 + project_index,
+                        "PNAME": f"P{dno}-{project_index}",
+                        "MEMBERS": members,
+                    }
+                )
+            equipment = [
+                {"QU": rng.randint(1, 5), "TYPE": rng.choice(EQUIPMENT_TYPES)}
+                for _ in range(self.equipment_per_department)
+            ]
+            out.append(
+                {
+                    "DNO": dno,
+                    "MGRNO": 50_000 + index,
+                    "PROJECTS": projects,
+                    "BUDGET": rng.randrange(100_000, 900_000, 10_000),
+                    "EQUIP": equipment,
+                }
+            )
+        return out
+
+    def table(self) -> TableValue:
+        return TableValue.from_plain(paper.DEPARTMENTS_SCHEMA, self.rows())
+
+    # -- flat decomposition (for the baselines) -----------------------------
+
+    def flat_rows(self) -> dict[str, list[tuple]]:
+        """The 1NF decomposition (Tables 1-4 shape) of the generated data."""
+        departments: list[tuple] = []
+        projects: list[tuple] = []
+        members: list[tuple] = []
+        equipment: list[tuple] = []
+        for dept in self.rows():
+            departments.append((dept["DNO"], dept["MGRNO"], dept["BUDGET"]))
+            for project in dept["PROJECTS"]:
+                projects.append((project["PNO"], project["PNAME"], dept["DNO"]))
+                for member in project["MEMBERS"]:
+                    members.append(
+                        (member["EMPNO"], project["PNO"], dept["DNO"], member["FUNCTION"])
+                    )
+            for item in dept["EQUIP"]:
+                equipment.append((item["QU"], item["TYPE"], dept["DNO"]))
+        return {
+            "DEPARTMENTS-1NF": departments,
+            "PROJECTS-1NF": projects,
+            "MEMBERS-1NF": members,
+            "EQUIP-1NF": equipment,
+        }
+
+    def employees_rows(self) -> list[tuple]:
+        """An EMPLOYEES-1NF covering every generated member and manager."""
+        rng = random.Random(self.seed + 1)
+        rows = []
+        for dept in self.rows():
+            rows.append(self._employee(rng, dept["MGRNO"]))
+            for project in dept["PROJECTS"]:
+                for member in project["MEMBERS"]:
+                    rows.append(self._employee(rng, member["EMPNO"]))
+        return rows
+
+    @staticmethod
+    def _employee(rng: random.Random, empno: int) -> tuple:
+        lname = "".join(rng.choice(string.ascii_uppercase) for _ in range(6))
+        fname = "".join(rng.choice(string.ascii_uppercase) for _ in range(4))
+        sex = rng.choice(("male", "female"))
+        return (empno, lname.title(), fname.title(), sex)
+
+
+_WORD_POOL = (
+    "database systems design concurrency recovery optimization text "
+    "hierarchies relations storage index search computer computational "
+    "minicomputer microcomputer office automation engineering graphics "
+    "network protocol transaction locking version temporal query language "
+    "compiler robotics schema integration performance clustering"
+).split()
+
+_AUTHOR_POOL = (
+    "Jones Smith Meyer Pool Abraham Tesla Dadam Pistor Lum Walch "
+    "Blanken Erbe Andersen Kuespert Schek Lorie Haskin"
+).split()
+
+
+@dataclass
+class ReportsGenerator:
+    """Generate REPORTS-shaped objects for text-index and list benchmarks."""
+
+    reports: int = 50
+    max_authors: int = 4
+    title_words: int = 6
+    max_descriptors: int = 3
+    seed: int = 7
+
+    def rows(self) -> list[dict]:
+        rng = random.Random(self.seed)
+        out = []
+        for index in range(self.reports):
+            author_count = rng.randint(1, self.max_authors)
+            authors = [
+                {"NAME": f"{rng.choice(_AUTHOR_POOL)} {rng.choice(string.ascii_uppercase)}"}
+                for _ in range(author_count)
+            ]
+            title = " ".join(
+                rng.choice(_WORD_POOL) for _ in range(self.title_words)
+            ).title()
+            descriptors = [
+                {"KEYWORD": rng.choice(_WORD_POOL), "WEIGHT": round(rng.random(), 2)}
+                for _ in range(rng.randint(1, self.max_descriptors))
+            ]
+            out.append(
+                {
+                    "REPNO": f"{index:04d}",
+                    "AUTHORS": authors,
+                    "TITLE": title,
+                    "DESCRIPTORS": descriptors,
+                }
+            )
+        return out
+
+    def table(self) -> TableValue:
+        return TableValue.from_plain(paper.REPORTS_SCHEMA, self.rows())

@@ -1,0 +1,140 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  The sub-hierarchy mirrors the
+subsystems of the AIM-II reproduction: model / storage / catalog / query /
+access paths / temporal support.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# Logical data model
+# --------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """An invalid schema definition (duplicate attributes, bad names, ...)."""
+
+
+class DDLError(SchemaError):
+    """A syntactically or semantically invalid DDL statement."""
+
+
+class DataError(ReproError):
+    """A value does not conform to the schema it is used with."""
+
+
+# --------------------------------------------------------------------------
+# Storage engine
+# --------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit into the target page."""
+
+
+class RecordTooLargeError(StorageError):
+    """A record exceeds the maximum payload a single page can hold."""
+
+
+class RecordNotFoundError(StorageError):
+    """A TID / Mini TID does not reference a live record."""
+
+
+class SegmentError(StorageError):
+    """Invalid page allocation or addressing within a segment."""
+
+
+class BufferError_(StorageError):
+    """Buffer-manager misuse (e.g. unpinning an unpinned page)."""
+
+
+# --------------------------------------------------------------------------
+# Catalog
+# --------------------------------------------------------------------------
+
+
+class CatalogError(ReproError):
+    """Base class for catalog failures."""
+
+
+class DuplicateTableError(CatalogError):
+    """A table with this name already exists."""
+
+
+class UnknownTableError(CatalogError):
+    """No table with this name exists."""
+
+
+class DuplicateIndexError(CatalogError):
+    """An index with this name already exists."""
+
+
+class UnknownIndexError(CatalogError):
+    """No index with this name exists."""
+
+
+# --------------------------------------------------------------------------
+# Query language
+# --------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for query-language failures."""
+
+
+class LexError(QueryError):
+    """An unrecognized token in the query text."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(QueryError):
+    """A syntactically invalid query."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(QueryError):
+    """An unresolvable name / path, or a type mismatch, in a query."""
+
+
+class ExecutionError(QueryError):
+    """A run-time failure while evaluating a query."""
+
+
+# --------------------------------------------------------------------------
+# Access paths & tuple names
+# --------------------------------------------------------------------------
+
+
+class AccessPathError(ReproError):
+    """Invalid index definition or index usage."""
+
+
+class TupleNameError(ReproError):
+    """An invalid or dangling tuple name (t-name)."""
+
+
+# --------------------------------------------------------------------------
+# Temporal support
+# --------------------------------------------------------------------------
+
+
+class TemporalError(ReproError):
+    """Invalid use of the time-version support (e.g. ASOF on an
+    unversioned table)."""

@@ -1,0 +1,16 @@
+"""Access paths: B+-trees, NF2 index addressing schemes, text index."""
+
+from repro.index.btree import BPlusTree
+from repro.index.addresses import AddressingMode, HierarchicalAddress
+from repro.index.manager import IndexDefinition, NF2Index, FlatIndex
+from repro.index.text import TextIndex
+
+__all__ = [
+    "BPlusTree",
+    "AddressingMode",
+    "HierarchicalAddress",
+    "IndexDefinition",
+    "NF2Index",
+    "FlatIndex",
+    "TextIndex",
+]

@@ -1,0 +1,70 @@
+"""Index address schemes (Section 4.2).
+
+The paper walks through three ways an index entry's addresses can identify
+the place of a key inside NF2 tables:
+
+* :attr:`AddressingMode.DATA_TID` — TIDs of the data subtuples holding the
+  key.  Insufficient: data subtuples carry no structural information, so the
+  ancestors (and even the owning object) cannot be reached.
+* :attr:`AddressingMode.ROOT_TID` — TIDs of root MD subtuples.  Reaches the
+  object and deduplicates multiple hits per object, but cannot discriminate
+  *where inside* the object the key occurred.
+* :attr:`AddressingMode.HIERARCHICAL` — the paper's solution: the root TID
+  followed by the Mini TIDs of the *data subtuples* of every complex
+  subobject on the path down to the data subtuple holding the key (Fig 7b).
+  Address components identify complex subobjects — never subtables — so
+  conjunctive conditions anchored in the same subobject can be tested purely
+  on index information (``P2 = F2``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.storage.tid import MiniTID, TID
+
+
+class AddressingMode(enum.Enum):
+    DATA_TID = "data-tid"
+    ROOT_TID = "root-tid"
+    HIERARCHICAL = "hierarchical"
+
+
+@dataclass(frozen=True)
+class HierarchicalAddress:
+    """``root`` is a full TID; ``components`` are Mini TIDs of data
+    subtuples, one per element level along the indexed path, ending at the
+    data subtuple that holds the key value."""
+
+    root: TID
+    components: tuple[MiniTID, ...]
+
+    def shares_prefix(self, other: "HierarchicalAddress", levels: int) -> bool:
+        """Do two addresses agree on the first *levels* element levels
+        (and the object)?  ``levels=1`` asks "same complex subobject at the
+        first level" — the paper's ``P2 = F2`` test."""
+        if self.root != other.root:
+            return False
+        return self.components[:levels] == other.components[:levels]
+
+    def __str__(self) -> str:
+        parts = [str(self.root)] + [str(c) for c in self.components]
+        return " . ".join(parts)
+
+
+#: What an index stores per hit, depending on the mode.
+IndexAddress = Union[TID, HierarchicalAddress]
+
+
+def address_root(address: IndexAddress) -> TID:
+    """The object-identifying part of an address, where it exists.
+
+    For DATA_TID addresses this is *not* the object's root — exactly the
+    deficiency the paper describes — so callers must not use this helper on
+    DATA_TID entries.
+    """
+    if isinstance(address, HierarchicalAddress):
+        return address.root
+    return address

@@ -1,0 +1,211 @@
+"""An in-memory B+-tree with duplicate support via posting lists.
+
+Index entries follow the paper's shape ``<key, addr_1, ..., addr_k>``: each
+distinct key maps to the list of addresses of the objects containing it.
+Leaves are chained for range scans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.errors import AccessPathError
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: list[Any] = []
+        self.children: list["_Node"] = []      # internal nodes
+        self.values: list[list[Any]] = []      # leaves: posting lists
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree:
+    """B+-tree mapping keys to posting lists of addresses."""
+
+    def __init__(self, order: int = 32):
+        if order < 4:
+            raise AccessPathError("B+-tree order must be at least 4")
+        self._order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0  # number of distinct keys
+
+    # -- lookup -----------------------------------------------------------------
+
+    def search(self, key: Any) -> list[Any]:
+        """The posting list for *key* (empty if absent)."""
+        leaf = self._find_leaf(key)
+        index = self._position(leaf, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def range(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, list[Any]]]:
+        """Iterate (key, posting list) over an inclusive/exclusive range."""
+        if low is not None:
+            leaf = self._find_leaf(low)
+            start = self._position(leaf, low)
+        else:
+            leaf = self._leftmost_leaf()
+            start = 0
+        while leaf is not None:
+            for index in range(start, len(leaf.keys)):
+                key = leaf.keys[index]
+                if low is not None:
+                    if key < low or (not include_low and key == low):
+                        continue
+                if high is not None:
+                    if key > high or (not include_high and key == high):
+                        return
+                yield key, list(leaf.values[index])
+            leaf = leaf.next_leaf
+            start = 0
+
+    def items(self) -> Iterator[tuple[Any, list[Any]]]:
+        return self.range()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.search(key))
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Add *value* to the posting list of *key*."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def remove(self, key: Any, value: Any) -> bool:
+        """Remove one occurrence of *value* from *key*'s posting list.
+
+        Returns True if removed.  Underflowed leaves are tolerated (keys
+        with empty posting lists are dropped; structural rebalancing is
+        deliberately lazy — correctness of search/range does not depend on
+        minimum fill).
+        """
+        leaf = self._find_leaf(key)
+        index = self._position(leaf, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        postings = leaf.values[index]
+        try:
+            postings.remove(value)
+        except ValueError:
+            return False
+        if not postings:
+            leaf.keys.pop(index)
+            leaf.values.pop(index)
+            self._size -= 1
+        return True
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            index = self._child_index(node, key)
+            node = node.children[index]
+        return node
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    @staticmethod
+    def _position(leaf: _Node, key: Any) -> int:
+        import bisect
+
+        return bisect.bisect_left(leaf.keys, key)
+
+    @staticmethod
+    def _child_index(node: _Node, key: Any) -> int:
+        import bisect
+
+        return bisect.bisect_right(node.keys, key)
+
+    def _insert(self, node: _Node, key: Any, value: Any) -> Optional[tuple[Any, _Node]]:
+        if node.is_leaf:
+            index = self._position(node, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(value)
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, [value])
+            self._size += 1
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+        index = self._child_index(node, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.keys) > self._order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> tuple[Any, _Node]:
+        middle = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> tuple[Any, _Node]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        return separator, right
+
+    # -- diagnostics ----------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert structural invariants (tests call this)."""
+        keys = [k for k, _ in self.items()]
+        if keys != sorted(keys):
+            raise AccessPathError("B+-tree keys out of order")
+        if len(keys) != len(set(map(repr, keys))):
+            raise AccessPathError("duplicate keys in leaves")
+        if len(keys) != self._size:
+            raise AccessPathError("size counter out of sync")
+        self._validate_node(self._root)
+
+    def _validate_node(self, node: _Node) -> int:
+        if node.is_leaf:
+            if len(node.keys) != len(node.values):
+                raise AccessPathError("leaf keys/values mismatch")
+            return 1
+        if len(node.children) != len(node.keys) + 1:
+            raise AccessPathError("internal fan-out mismatch")
+        depths = {self._validate_node(child) for child in node.children}
+        if len(depths) != 1:
+            raise AccessPathError("unbalanced tree")
+        return depths.pop() + 1

@@ -1,0 +1,182 @@
+"""Index definitions and maintenance.
+
+An index is defined on an attribute path, e.g. ``FUNCTION`` reached via
+``DEPARTMENTS.PROJECTS.MEMBERS.FUNCTION``.  For NF2 tables the index walks
+the stored object's Mini Directory alongside its values and emits one entry
+per occurrence; the address stored per entry depends on the
+:class:`~repro.index.addresses.AddressingMode` (Section 4.2's comparison).
+
+Maintenance is object-granular: DML re-indexes the affected object
+(deindex + index), which keeps every index consistent under partial updates
+without per-subtuple bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.errors import AccessPathError
+from repro.index.addresses import AddressingMode, HierarchicalAddress, IndexAddress
+from repro.index.btree import BPlusTree
+from repro.model.schema import TableSchema
+from repro.storage.complex_object import OpenObject
+from repro.storage.minidirectory import DecodedElement
+from repro.storage.tid import MiniTID, TID
+
+
+@dataclass(frozen=True)
+class IndexDefinition:
+    name: str
+    table: str
+    attribute_path: tuple[str, ...]
+    mode: AddressingMode = AddressingMode.HIERARCHICAL
+
+    def validate_against(self, schema: TableSchema) -> None:
+        """The path must descend through table-valued attributes and end at
+        an atomic one."""
+        current = schema
+        for step in self.attribute_path[:-1]:
+            attr = current.attribute(step)
+            if not attr.is_table:
+                raise AccessPathError(
+                    f"index {self.name!r}: {step!r} is atomic; the path must "
+                    "descend through subtables"
+                )
+            assert attr.table is not None
+            current = attr.table
+        last = current.attribute(self.attribute_path[-1])
+        if not last.is_atomic:
+            raise AccessPathError(
+                f"index {self.name!r}: {self.attribute_path[-1]!r} is not atomic"
+            )
+
+
+class NF2Index:
+    """A value index over one attribute path of an NF2 table."""
+
+    def __init__(self, definition: IndexDefinition):
+        self.definition = definition
+        self.tree = BPlusTree()
+        self._by_root: dict[TID, list[tuple[Any, IndexAddress]]] = {}
+
+    # -- maintenance ------------------------------------------------------------
+
+    def index_object(self, obj: OpenObject) -> None:
+        """Add entries for one stored object."""
+        if obj.root_tid in self._by_root:
+            self.deindex_object(obj.root_tid)
+        entries = list(self.compute_entries(obj))
+        for key, address in entries:
+            self.tree.insert(key, address)
+        self._by_root[obj.root_tid] = entries
+
+    def deindex_object(self, root_tid: TID) -> None:
+        for key, address in self._by_root.pop(root_tid, ()):
+            self.tree.remove(key, address)
+
+    def compute_entries(self, obj: OpenObject) -> Iterator[tuple[Any, IndexAddress]]:
+        """Walk the object's Mini Directory along the indexed path."""
+        yield from self._walk(
+            obj, obj.schema, obj.decoded, self.definition.attribute_path, ()
+        )
+
+    def _walk(
+        self,
+        obj: OpenObject,
+        schema: TableSchema,
+        element: DecodedElement,
+        path: tuple[str, ...],
+        components: tuple[MiniTID, ...],
+    ) -> Iterator[tuple[Any, IndexAddress]]:
+        if len(path) == 1:
+            atoms = obj.read_atoms(schema, element)
+            key = atoms.get(path[0])
+            if key is None:
+                return  # NULLs are not indexed
+            yield key, self._make_address(obj, element, components)
+            return
+        index = OpenObject._subtable_index(schema, path[0])
+        attr = schema.table_attributes[index]
+        assert attr.table is not None
+        for child in element.subtables[index].elements:
+            yield from self._walk(
+                obj, attr.table, child, path[1:], components + (child.data,)
+            )
+
+    def _make_address(
+        self, obj: OpenObject, element: DecodedElement, components: tuple[MiniTID, ...]
+    ) -> IndexAddress:
+        mode = self.definition.mode
+        if mode is AddressingMode.DATA_TID:
+            # The first (broken) alternative: the data subtuple's global TID.
+            return obj.space.translate(element.data)
+        if mode is AddressingMode.ROOT_TID:
+            return obj.root_tid
+        # HIERARCHICAL: root TID + data-subtuple Mini TIDs per element level;
+        # a top-level attribute's single component is the root element's
+        # own data subtuple.
+        if not components:
+            components = (obj.decoded.data,)
+        return HierarchicalAddress(root=obj.root_tid, components=components)
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def search(self, key: Any) -> list[IndexAddress]:
+        return self.tree.search(key)
+
+    def range(self, low: Any = None, high: Any = None, **kwargs) -> Iterator[tuple[Any, list[IndexAddress]]]:
+        return self.tree.range(low, high, **kwargs)
+
+    def roots_for(self, key: Any) -> list[TID]:
+        """Distinct object roots containing *key* — only meaningful for
+        ROOT_TID and HIERARCHICAL modes (the paper's first approach cannot
+        answer this, which is its whole problem)."""
+        if self.definition.mode is AddressingMode.DATA_TID:
+            raise AccessPathError(
+                "data-subtuple TIDs carry no structural information; the "
+                "owning objects cannot be derived (Section 4.2)"
+            )
+        seen: list[TID] = []
+        for address in self.search(key):
+            root = address.root if isinstance(address, HierarchicalAddress) else address
+            if root not in seen:
+                seen.append(root)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+
+class FlatIndex:
+    """A value index over one attribute of a flat (1NF) heap table —
+    ordinary System-R style ``<key, TID...>`` entries."""
+
+    def __init__(self, definition: IndexDefinition):
+        if len(definition.attribute_path) != 1:
+            raise AccessPathError("flat tables index top-level attributes only")
+        self.definition = definition
+        self.tree = BPlusTree()
+        self._by_tid: dict[TID, Any] = {}
+
+    def index_row(self, tid: TID, key: Any) -> None:
+        if tid in self._by_tid:
+            self.deindex_row(tid)
+        if key is None:
+            return
+        self.tree.insert(key, tid)
+        self._by_tid[tid] = key
+
+    def deindex_row(self, tid: TID) -> None:
+        key = self._by_tid.pop(tid, None)
+        if key is not None:
+            self.tree.remove(key, tid)
+
+    def search(self, key: Any) -> list[TID]:
+        return self.tree.search(key)
+
+    def range(self, low: Any = None, high: Any = None, **kwargs):
+        return self.tree.range(low, high, **kwargs)
+
+    def __len__(self) -> int:
+        return len(self.tree)

@@ -1,0 +1,135 @@
+"""Word-fragment text index for masked search (Section 5, /Sch78, KW81/).
+
+The paper's text support evaluates masked patterns like ``'*comput*'``
+against STRING attributes, optionally accelerated by a text index built on
+word fragments.  We implement the classical fragment scheme: every word of
+the indexed text contributes all its *n*-grams (n=3 by default) to an
+inverted index.  A masked query is answered by
+
+1. extracting the literal runs of the pattern (the parts between ``*`` /
+   ``?`` wildcards),
+2. intersecting the posting sets of the runs' fragments → candidates,
+3. leaving exact verification of candidates to the caller (the executor
+   re-checks the CONTAINS predicate on the fetched object).
+
+If the pattern has no run long enough to produce a fragment, the index
+reports that it cannot narrow the search (:meth:`search` returns ``None``)
+and the caller falls back to a scan.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.errors import AccessPathError
+from repro.index.addresses import AddressingMode, HierarchicalAddress, IndexAddress
+from repro.index.manager import IndexDefinition, NF2Index
+from repro.model.schema import TableSchema
+from repro.model.types import AtomicType
+from repro.storage.complex_object import OpenObject
+from repro.storage.tid import TID
+
+_WORD_RE = re.compile(r"[0-9A-Za-z]+")
+
+
+def words_of(text: str) -> list[str]:
+    return [w.lower() for w in _WORD_RE.findall(text)]
+
+
+def fragments_of(word: str, n: int) -> set[str]:
+    """All n-grams of a word; short words contribute themselves."""
+    if len(word) <= n:
+        return {word}
+    return {word[i:i + n] for i in range(len(word) - n + 1)}
+
+
+class TextIndex:
+    """Fragment index over one STRING attribute path of an NF2 table."""
+
+    def __init__(self, definition: IndexDefinition, fragment_length: int = 3):
+        if fragment_length < 2:
+            raise AccessPathError("fragment length must be at least 2")
+        self.definition = definition
+        self.fragment_length = fragment_length
+        self._postings: dict[str, set[int]] = {}
+        #: address registry: handle -> address (sets need hashables)
+        self._addresses: dict[int, IndexAddress] = {}
+        self._next_handle = 0
+        self._by_root: dict[TID, list[int]] = {}
+        # reuse NF2Index's path walking to enumerate (text, address) pairs
+        self._walker = NF2Index(definition)
+
+    def validate_against(self, schema: TableSchema) -> None:
+        self.definition.validate_against(schema)
+        attr = schema.resolve_path(self.definition.attribute_path)
+        if attr.atomic_type is not AtomicType.STRING:
+            raise AccessPathError(
+                f"text index {self.definition.name!r} needs a STRING "
+                f"attribute, got {attr.atomic_type}"
+            )
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def index_object(self, obj: OpenObject) -> None:
+        if obj.root_tid in self._by_root:
+            self.deindex_object(obj.root_tid)
+        handles: list[int] = []
+        for text, address in self._walker.compute_entries(obj):
+            if not isinstance(text, str):
+                continue
+            handle = self._next_handle
+            self._next_handle += 1
+            self._addresses[handle] = address
+            handles.append(handle)
+            for word in words_of(text):
+                for fragment in fragments_of(word, self.fragment_length):
+                    self._postings.setdefault(fragment, set()).add(handle)
+        self._by_root[obj.root_tid] = handles
+
+    def deindex_object(self, root_tid: TID) -> None:
+        for handle in self._by_root.pop(root_tid, ()):
+            self._addresses.pop(handle, None)
+            for postings in self._postings.values():
+                postings.discard(handle)
+
+    # -- search ----------------------------------------------------------------------
+
+    def search(self, pattern: str) -> Optional[list[IndexAddress]]:
+        """Candidate addresses for a masked pattern, or ``None`` when the
+        pattern cannot be narrowed by fragments (caller must scan).
+
+        Candidates are a superset of the true matches; callers verify.
+        """
+        runs = [run for run in re.split(r"[*?]+", pattern) if run]
+        fragments: set[str] = set()
+        for run in runs:
+            for word in words_of(run):
+                if len(word) >= self.fragment_length:
+                    fragments |= fragments_of(word, self.fragment_length)
+        if not fragments:
+            return None
+        candidates: Optional[set[int]] = None
+        for fragment in fragments:
+            postings = self._postings.get(fragment, set())
+            candidates = postings if candidates is None else candidates & postings
+            if not candidates:
+                return []
+        assert candidates is not None
+        return [self._addresses[handle] for handle in sorted(candidates)]
+
+    def candidate_roots(self, pattern: str) -> Optional[list[TID]]:
+        addresses = self.search(pattern)
+        if addresses is None:
+            return None
+        roots: list[TID] = []
+        for address in addresses:
+            root = address.root if isinstance(address, HierarchicalAddress) else address
+            if root not in roots:
+                roots.append(root)
+        return roots
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self._postings)

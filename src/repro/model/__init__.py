@@ -1,0 +1,16 @@
+"""Logical extended-NF2 data model: atomic types, schemas, and values."""
+
+from repro.model.types import AtomicType
+from repro.model.schema import AttributeSchema, TableSchema, atomic, table, list_of
+from repro.model.values import TupleValue, TableValue
+
+__all__ = [
+    "AtomicType",
+    "AttributeSchema",
+    "TableSchema",
+    "atomic",
+    "table",
+    "list_of",
+    "TupleValue",
+    "TableValue",
+]

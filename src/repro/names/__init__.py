@@ -1,0 +1,5 @@
+"""System-generated keys: tuple names (t-names)."""
+
+from repro.names.tuple_names import TupleName, TupleNameKind, TupleNameService
+
+__all__ = ["TupleName", "TupleNameKind", "TupleNameService"]

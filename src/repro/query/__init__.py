@@ -1,0 +1,5 @@
+"""The NF2 query language: lexer, parser, binder, planner, executor, DML."""
+
+from repro.query.parser import parse_statement, parse_query
+
+__all__ = ["parse_statement", "parse_query"]

@@ -1,0 +1,527 @@
+"""Evaluation of NF2 queries.
+
+Execution follows the paper's mental model exactly (Section 3, Example 2):
+each FROM range is a loop over the tuples of its source; an inner range
+whose source is a path (``y IN x.PROJECTS``) re-binds for every binding of
+the outer variable; sub-SELECTs in the select list are correlated queries
+producing table-valued output attributes.
+
+NULL semantics are two-valued: a comparison involving NULL is false
+(``IS NULL`` exists for explicit tests).  ``ALL`` over an empty subtable is
+vacuously true, ``EXISTS`` false.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Any, Callable, Iterable, Optional, Protocol
+
+from repro.errors import ExecutionError
+from repro.model.schema import TableSchema
+from repro.model.values import TableValue, TupleValue
+from repro.query import ast
+from repro.query.binder import Binder, Scope, SchemaProvider
+
+
+class TableProvider(SchemaProvider, Protocol):
+    """What the executor needs from the database."""
+
+    def iterate_table(
+        self, name: str, asof: Optional[datetime.date] = None
+    ) -> Iterable[TupleValue]:
+        ...
+
+    def iterate_table_for_query(
+        self,
+        name: str,
+        asof: Optional[datetime.date],
+        query: ast.Query,
+        var: str,
+    ) -> Iterable[TupleValue]:
+        """Like :meth:`iterate_table`, but the provider may use the query's
+        WHERE clause to choose an access path (index scan instead of a full
+        scan).  The default implementation is a full scan."""
+        ...
+
+
+class Executor:
+    def __init__(self, provider: TableProvider):
+        self._provider = provider
+        self._binder = Binder(provider)
+        # id(query) -> (query, schema); the strong reference to the query
+        # node prevents id() reuse after garbage collection.
+        self._schema_cache: dict[int, tuple[ast.Query, TableSchema]] = {}
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self, query: ast.Query) -> TableValue:
+        """Execute a query; returns its (possibly nested) result table."""
+        schema = self._result_schema(query, Scope())
+        return self._execute(query, schema, env={}, is_top=True)
+
+    # -- schemas -----------------------------------------------------------------
+
+    def _result_schema(self, query: ast.Query, scope: Scope) -> TableSchema:
+        entry = self._schema_cache.get(id(query))
+        if entry is not None and entry[0] is query:
+            return entry[1]
+        schema = self._binder.bind_query(query, scope)
+        if len(self._schema_cache) > 1024:
+            self._schema_cache.clear()
+        self._schema_cache[id(query)] = (query, schema)
+        return schema
+
+    # -- query evaluation -----------------------------------------------------------
+
+    def _execute(
+        self,
+        query: ast.Query,
+        schema: TableSchema,
+        env: dict[str, TupleValue],
+        is_top: bool = False,
+    ) -> TableValue:
+        result = TableValue(schema)
+        sort_keys: list[tuple] = []
+
+        def emit(bound_env: dict[str, TupleValue]) -> None:
+            if query.where is not None and not self._eval_predicate(query.where, bound_env):
+                return
+            result.rows.append(self._project(query, schema, bound_env))
+            if query.order_by:
+                sort_keys.append(
+                    tuple(
+                        _sortable(
+                            _unwrap_single_attribute(
+                                self._eval_expression(item.expr, bound_env)
+                            )
+                        )
+                        for item in query.order_by
+                    )
+                )
+
+        self._loop_ranges(query, list(query.ranges), env, emit, is_top)
+        if query.order_by:
+            pairs = list(zip(result.rows, sort_keys))
+            # stable multi-key sort: apply keys right-to-left
+            for index in range(len(query.order_by) - 1, -1, -1):
+                pairs.sort(
+                    key=lambda pair: pair[1][index],
+                    reverse=query.order_by[index].descending,
+                )
+            result.rows = [row for row, _keys in pairs]
+        if query.distinct:
+            seen: set = set()
+            unique = []
+            for row in result.rows:
+                key = row.canonical()
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            result.rows = unique
+        return result
+
+    def _loop_ranges(
+        self,
+        query: ast.Query,
+        ranges: list[ast.Range],
+        env: dict[str, TupleValue],
+        emit: Callable[[dict[str, TupleValue]], None],
+        is_top: bool,
+    ) -> None:
+        if not ranges:
+            emit(env)
+            return
+        head, tail = ranges[0], ranges[1:]
+        first = is_top and head is query.ranges[0]
+        source_rows = self._iterate_source(
+            head.source,
+            env,
+            head.var,
+            planner_query=query if first else None,
+            where=query.where,
+        )
+        for row in source_rows:
+            inner = dict(env)
+            inner[head.var] = row
+            self._loop_ranges(query, tail, inner, emit, is_top)
+
+    def _iterate_source(
+        self,
+        source: ast.Source,
+        env: dict[str, TupleValue],
+        var: str,
+        planner_query: Optional[ast.Query] = None,
+        where: Optional[ast.Predicate] = None,
+    ) -> Iterable[TupleValue]:
+        if source.table is not None:
+            if planner_query is not None:
+                return self._provider.iterate_table_for_query(
+                    source.table, source.asof, planner_query, var
+                )
+            if source.asof is None and where is not None:
+                # index-nested-loop join: an inner range whose predicate
+                # ties one of its attributes to already-bound variables can
+                # be fetched through an index instead of scanned
+                rows = self._join_lookup(source.table, where, var, env)
+                if rows is not None:
+                    return rows
+            return self._provider.iterate_table(source.table, source.asof)
+        assert source.path is not None
+        value = self._eval_expression(source.path, env)
+        if not isinstance(value, TableValue):
+            raise ExecutionError(
+                f"range source {source.path.dotted()!r} did not yield a table"
+            )
+        return value.rows
+
+    def _join_lookup(
+        self,
+        table: str,
+        where: ast.Predicate,
+        var: str,
+        env: dict[str, TupleValue],
+    ) -> Optional[list[TupleValue]]:
+        """Find an equality conjunct ``var.ATTR = <bound expression>`` and
+        answer it through an index (System-R style index nested loops)."""
+        lookup = getattr(self._provider, "lookup_rows", None)
+        if lookup is None:
+            return None
+        from repro.query.planner import _flatten_and
+
+        conjuncts = _flatten_and(where)
+        if conjuncts is None:
+            return None
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, ast.Comparison) and conjunct.op == "="):
+                continue
+            for mine, theirs in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not (
+                    isinstance(mine, ast.Path)
+                    and mine.var == var
+                    and len(mine.attribute_names) == 1
+                    and not mine.has_subscript
+                ):
+                    continue
+                if isinstance(theirs, ast.Literal):
+                    value = theirs.value
+                elif isinstance(theirs, ast.Path) and theirs.var in env:
+                    value = self._eval_expression(theirs, env)
+                    value = _unwrap_single_attribute(value)
+                else:
+                    continue
+                if value is None or isinstance(value, (TableValue, TupleValue)):
+                    continue
+                rows = lookup(table, mine.attribute_names[0], value)
+                if rows is not None:
+                    return rows
+        return None
+
+    def _project(
+        self, query: ast.Query, schema: TableSchema, env: dict[str, TupleValue]
+    ) -> TupleValue:
+        if query.select_star:
+            row = env[query.ranges[0].var]
+            return TupleValue(
+                schema, {name: row[name] for name in schema.attribute_names}
+            )
+        values: dict[str, Any] = {}
+        for attr, item in zip(schema.attributes, query.select):
+            if isinstance(item.expr, ast.Query):
+                assert attr.table is not None
+                inner_schema = attr.table
+                sub = self._execute(item.expr, inner_schema, env)
+                values[attr.name] = sub
+            else:
+                value = self._eval_expression(item.expr, env)
+                value = _unwrap_single_attribute(value)
+                if attr.is_table and isinstance(value, TableValue):
+                    assert attr.table is not None
+                    value = _retag_table(value, attr.table)
+                values[attr.name] = value
+        return TupleValue(schema, values)
+
+    # -- predicates ----------------------------------------------------------------------
+
+    def _eval_predicate(self, predicate: ast.Predicate, env: dict[str, TupleValue]) -> bool:
+        if isinstance(predicate, ast.BoolOp):
+            if predicate.op == "AND":
+                return all(self._eval_predicate(p, env) for p in predicate.operands)
+            return any(self._eval_predicate(p, env) for p in predicate.operands)
+        if isinstance(predicate, ast.Not):
+            return not self._eval_predicate(predicate.operand, env)
+        if isinstance(predicate, ast.Quantifier):
+            rows = self._iterate_source(
+                predicate.source,
+                env,
+                predicate.var,
+                where=predicate.body if predicate.kind == "EXISTS" else None,
+            )
+            if predicate.kind == "EXISTS":
+                return any(
+                    self._eval_predicate(predicate.body, {**env, predicate.var: row})
+                    for row in rows
+                )
+            return all(
+                self._eval_predicate(predicate.body, {**env, predicate.var: row})
+                for row in rows
+            )
+        if isinstance(predicate, ast.Contains):
+            subject = self._eval_expression(predicate.subject, env)
+            subject = _unwrap_single_attribute(subject)
+            matched = (
+                isinstance(subject, str)
+                and masked_match(predicate.pattern, subject)
+            )
+            return matched != predicate.negated
+        if isinstance(predicate, ast.IsNull):
+            subject = self._eval_expression(predicate.subject, env)
+            subject = _unwrap_single_attribute(subject)
+            return (subject is None) != predicate.negated
+        if isinstance(predicate, ast.Comparison):
+            left = self._eval_expression(predicate.left, env)
+            right = self._eval_expression(predicate.right, env)
+            return compare(predicate.op, left, right)
+        raise ExecutionError(f"unhandled predicate {predicate!r}")  # pragma: no cover
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _eval_expression(self, expr: ast.Expression, env: dict[str, TupleValue]) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Path):
+            return self._eval_path(expr, env)
+        if isinstance(expr, ast.Query):
+            scope = _scope_from_env(env)
+            schema = self._result_schema(expr, scope)
+            return self._execute(expr, schema, env)
+        if isinstance(expr, ast.Aggregate):
+            return self._eval_aggregate(expr, env)
+        raise ExecutionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+    def _eval_aggregate(self, expr: ast.Aggregate, env: dict[str, TupleValue]) -> Any:
+        if isinstance(expr.argument, ast.Path):
+            values = self._eval_path_multi(expr.argument, env)
+        else:
+            values = [self._eval_expression(expr.argument, env)]
+        return _aggregate(expr.function, values)
+
+    def _eval_path_multi(self, path: ast.Path, env: dict[str, TupleValue]) -> list[Any]:
+        """Evaluate a path with flattening across subtable levels: a name
+        step applied to a table applies to each of its tuples."""
+        if path.var not in env:
+            raise ExecutionError(f"unbound tuple variable {path.var!r}")
+        current: list[Any] = [env[path.var]]
+        for step in path.steps:
+            if step.name is not None:
+                next_values: list[Any] = []
+                for value in current:
+                    if value is None:
+                        continue
+                    if isinstance(value, TableValue):
+                        next_values.extend(row[step.name] for row in value.rows)
+                    elif isinstance(value, TupleValue):
+                        next_values.append(value[step.name])
+                    else:
+                        raise ExecutionError(
+                            f"cannot select {step.name!r} in {path.dotted()!r}"
+                        )
+                current = next_values
+            if step.subscript is not None:
+                index = step.subscript - 1
+                subscripted: list[Any] = []
+                for value in current:
+                    if isinstance(value, TableValue) and 0 <= index < len(value):
+                        subscripted.append(value[index])
+                    else:
+                        subscripted.append(None)
+                current = subscripted
+        return current
+
+    def _eval_path(self, path: ast.Path, env: dict[str, TupleValue]) -> Any:
+        if path.var not in env:
+            raise ExecutionError(f"unbound tuple variable {path.var!r}")
+        current: Any = env[path.var]
+        for step in path.steps:
+            if step.name is not None:
+                if current is None:
+                    return None
+                if not isinstance(current, TupleValue):
+                    raise ExecutionError(
+                        f"cannot select {step.name!r} in {path.dotted()!r}"
+                    )
+                current = current[step.name]
+            if step.subscript is not None:
+                if current is None:
+                    return None
+                if not isinstance(current, TableValue):
+                    raise ExecutionError(
+                        f"subscript in {path.dotted()!r} applies to a table"
+                    )
+                index = step.subscript - 1  # the language is 1-based
+                if not 0 <= index < len(current):
+                    current = None
+                else:
+                    current = current[index]
+        return current
+
+
+# ---------------------------------------------------------------------------
+# value helpers
+# ---------------------------------------------------------------------------
+
+
+def _unwrap_single_attribute(value: Any) -> Any:
+    """A tuple with a single atomic attribute acts as that value — the
+    paper compares ``x.AUTHORS[1] = 'Jones'`` directly."""
+    if isinstance(value, TupleValue):
+        attrs = value.schema.attributes
+        if len(attrs) == 1 and attrs[0].is_atomic:
+            return value[attrs[0].name]
+    return value
+
+
+def _retag_table(value: TableValue, schema: TableSchema) -> TableValue:
+    """Re-label a table value with an output attribute's schema (same
+    attribute names; only the table name / identity differs)."""
+    if value.schema.attribute_names != schema.attribute_names:
+        raise ExecutionError(
+            f"cannot relabel table {value.schema.name!r} as {schema.name!r}"
+        )
+    out = TableValue(schema)
+    out.rows.extend(
+        TupleValue(schema, {name: row[name] for name in schema.attribute_names})
+        for row in value.rows
+    )
+    return out
+
+
+def compare(op: str, left: Any, right: Any) -> bool:
+    """Two-valued comparison; anything involving NULL is false."""
+    left = _unwrap_single_attribute(left)
+    right = _unwrap_single_attribute(right)
+    if left is None or right is None:
+        return False
+    if isinstance(left, TableValue) or isinstance(right, TableValue):
+        if not (isinstance(left, TableValue) and isinstance(right, TableValue)):
+            return False
+        equal = left.canonical() == right.canonical()
+        if op == "=":
+            return equal
+        if op == "<>":
+            return not equal
+        raise ExecutionError("tables compare with = and <> only")
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    try:
+        if op == "=":
+            return bool(left == right)
+        if op == "<>":
+            return bool(left != right)
+        if op == "<":
+            return bool(left < right)
+        if op == "<=":
+            return bool(left <= right)
+        if op == ">":
+            return bool(left > right)
+        if op == ">=":
+            return bool(left >= right)
+    except TypeError as exc:
+        raise ExecutionError(f"cannot compare {left!r} with {right!r}") from exc
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def masked_match(pattern: str, text: str) -> bool:
+    """The paper's masked search: ``*`` matches any run, ``?`` one
+    character; matching is case-insensitive and applies anywhere a full
+    match of the pattern fits the whole string."""
+    regex = _compile_mask(pattern)
+    return regex.fullmatch(text) is not None
+
+
+def _compile_mask(pattern: str) -> "re.Pattern[str]":
+    parts = []
+    for char in pattern:
+        if char == "*":
+            parts.append(".*")
+        elif char == "?":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts), re.IGNORECASE | re.DOTALL)
+
+
+def _aggregate(function: str, values: list[Any]) -> Any:
+    """Compute one aggregate over flattened values.
+
+    Tables in the value list are unwrapped: COUNT adds their cardinality,
+    the others consume their (single-attribute) column.  NULLs are ignored;
+    an empty input yields 0 for COUNT and NULL for the rest (SQL-style).
+    """
+    atoms: list[Any] = []
+    count = 0
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, TableValue):
+            count += len(value)
+            attrs = value.schema.attributes
+            if len(attrs) == 1 and attrs[0].is_atomic:
+                atoms.extend(
+                    row[attrs[0].name]
+                    for row in value.rows
+                    if row[attrs[0].name] is not None
+                )
+            elif function != "COUNT":
+                raise ExecutionError(
+                    f"{function} needs atomic values, got table "
+                    f"{value.schema.name!r}"
+                )
+            continue
+        value = _unwrap_single_attribute(value)
+        if value is None:
+            continue
+        count += 1
+        atoms.append(value)
+    if function == "COUNT":
+        return count
+    if not atoms:
+        return None
+    if function == "SUM":
+        return sum(atoms)
+    if function == "AVG":
+        return sum(atoms) / len(atoms)
+    if function == "MIN":
+        return min(atoms)
+    if function == "MAX":
+        return max(atoms)
+    raise ExecutionError(f"unknown aggregate {function!r}")  # pragma: no cover
+
+
+def _sortable(value: Any) -> tuple:
+    """A totally-ordered proxy for an atomic value (NULLs sort first;
+    booleans before numbers never mix — the binder guarantees homogeneous
+    keys, this is only a tiebreaker-safe encoding)."""
+    import datetime
+
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, datetime.date):
+        return (4, value.toordinal())
+    raise ExecutionError(f"cannot sort by {value!r}")
+
+
+def _scope_from_env(env: dict[str, TupleValue]) -> Scope:
+    scope = Scope()
+    for var, row in env.items():
+        scope.define(var, row.schema)
+    return scope

@@ -1,0 +1,78 @@
+"""Tokenizer for the NF2 query language.
+
+The surface syntax follows the paper's examples (dots added where the 1986
+typesetting used spaces)::
+
+    SELECT x.DNO, x.MGRNO, x.BUDGET
+    FROM   x IN DEPARTMENTS
+    WHERE  EXISTS y IN x.EQUIP: y.TYPE = 'PC/AT'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "IN", "EXISTS", "ALL", "AND", "OR", "NOT",
+        "CONTAINS", "ASOF", "AS", "TRUE", "FALSE", "NULL", "IS",
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+        "CREATE", "DROP", "TABLE", "LIST", "OF", "INDEX", "TEXT", "ON",
+        "VERSIONED", "ORDER", "BY", "ASC", "DESC", "DISTINCT",
+        "ALTER", "ADD", "ATTRIBUTE", "RENAME", "TO",
+    }
+)
+
+
+class Token(NamedTuple):
+    kind: str       # 'keyword' | 'ident' | 'int' | 'float' | 'string' | 'punct' | 'eof'
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<float>\d+\.\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_\-/]*)
+  | (?P<punct><=|>=|<>|!=|=|<|>|\(|\)|\[|\]|\{|\}|,|\.|\*|:|\+|-|/)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens, ending with a single ``eof`` token."""
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise LexError(
+                f"unexpected character {text[position]!r}", position=position
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        value = match.group()
+        start = match.start()
+        position = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "ident" and value.upper() in KEYWORDS:
+            yield Token("keyword", value, start)
+        elif kind == "string":
+            # strip quotes, un-double embedded quotes
+            yield Token("string", value[1:-1].replace("''", "'"), start)
+        else:
+            yield Token(kind, value, start)
+    yield Token("eof", "", length)

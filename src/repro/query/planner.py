@@ -1,0 +1,323 @@
+"""Access-path selection.
+
+The planner inspects a query's WHERE clause for conditions it can answer
+from indexes on the first FROM range's stored table, and — following
+Section 4.2 — exploits the *addressing mode* of each index:
+
+* DATA_TID indexes are never used to retrieve objects (their addresses
+  cannot reach the owning object — the paper's first, rejected approach);
+* ROOT_TID indexes restrict the candidate *objects*;
+* HIERARCHICAL indexes additionally let conjunctive conditions anchored in
+  the same complex subobject be combined *purely on index information*:
+  two addresses agreeing on their first ``k`` components refer to the same
+  subobject at level ``k`` (the paper's ``P2 = F2`` argument).
+
+The executor always re-verifies the full WHERE clause on the candidates, so
+planning is purely an optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.catalog.catalog import TableEntry
+from repro.index.addresses import AddressingMode, HierarchicalAddress
+from repro.index.manager import FlatIndex, NF2Index
+from repro.index.text import TextIndex
+from repro.query import ast
+from repro.storage.tid import TID
+
+
+@dataclass(frozen=True)
+class IndexCondition:
+    """An index-answerable conjunct.
+
+    ``attribute_path`` is the path from the table's top level to the atomic
+    attribute; ``binding`` names the quantifier variables introduced along
+    the way — two conditions sharing a binding prefix are anchored in the
+    same complex subobject and may be prefix-joined.
+    """
+
+    attribute_path: tuple[str, ...]
+    binding: tuple[str, ...]
+    kind: str  # 'eq' | 'contains'
+    value: Any
+
+    @property
+    def levels(self) -> int:
+        """Element levels below the root that the condition descends."""
+        return len(self.attribute_path) - 1
+
+
+def extract_conditions(query: ast.Query, var: str) -> Optional[list[IndexCondition]]:
+    """Index-answerable conjuncts of the WHERE clause, anchored at *var*.
+
+    Returns ``None`` if the clause's top level is not a conjunction we can
+    partially cover (e.g. an OR) — callers then scan.
+    """
+    if query.where is None:
+        return []
+    conjuncts = _flatten_and(query.where)
+    if conjuncts is None:
+        return None
+    conditions: list[IndexCondition] = []
+    for conjunct in conjuncts:
+        conditions.extend(_conditions_of(conjunct, var, prefix=(), binding=()))
+    return conditions
+
+
+def _flatten_and(predicate: ast.Predicate) -> Optional[list[ast.Predicate]]:
+    if isinstance(predicate, ast.BoolOp):
+        if predicate.op != "AND":
+            return None
+        out: list[ast.Predicate] = []
+        for operand in predicate.operands:
+            inner = _flatten_and(operand)
+            if inner is None:
+                return None
+            out.extend(inner)
+        return out
+    return [predicate]
+
+
+def _conditions_of(
+    predicate: ast.Predicate,
+    var: str,
+    prefix: tuple[str, ...],
+    binding: tuple[str, ...],
+) -> list[IndexCondition]:
+    """Conditions contributed by one conjunct.  *var* is the variable whose
+    tuples we are filtering at this nesting level; *prefix* is the subtable
+    path taken so far; *binding* the quantifier variables on that path."""
+    if isinstance(predicate, ast.Comparison):
+        condition = _comparison_condition(predicate, var, prefix, binding)
+        return [condition] if condition else []
+    if isinstance(predicate, ast.Contains) and not predicate.negated:
+        subject = predicate.subject
+        if (
+            isinstance(subject, ast.Path)
+            and subject.var == var
+            and not subject.has_subscript
+            and subject.attribute_names
+        ):
+            return [
+                IndexCondition(
+                    attribute_path=prefix + subject.attribute_names,
+                    binding=binding,
+                    kind="contains",
+                    value=predicate.pattern,
+                )
+            ]
+        return []
+    if isinstance(predicate, ast.Quantifier) and predicate.kind == "EXISTS":
+        source = predicate.source
+        if (
+            source.path is not None
+            and source.path.var == var
+            and not source.path.has_subscript
+            and len(source.path.attribute_names) >= 1
+        ):
+            new_prefix = prefix + source.path.attribute_names
+            # Bindings are keyed per quantifier *instance*: two sibling
+            # EXISTS clauses reusing a variable name must not prefix-join.
+            new_binding = binding + (f"{predicate.var}#{id(predicate)}",)
+            inner = _flatten_and(predicate.body)
+            if inner is None:
+                return []
+            out: list[IndexCondition] = []
+            for conjunct in inner:
+                out.extend(
+                    _conditions_of(conjunct, predicate.var, new_prefix, new_binding)
+                )
+            return out
+        return []
+    if isinstance(predicate, ast.BoolOp) and predicate.op == "AND":
+        out = []
+        for operand in predicate.operands:
+            out.extend(_conditions_of(operand, var, prefix, binding))
+        return out
+    return []
+
+
+_MIRRORED_OPS = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _comparison_condition(
+    predicate: ast.Comparison,
+    var: str,
+    prefix: tuple[str, ...],
+    binding: tuple[str, ...],
+) -> Optional[IndexCondition]:
+    if predicate.op not in _MIRRORED_OPS:
+        return None
+    sides = [
+        (predicate.left, predicate.right, predicate.op),
+        (predicate.right, predicate.left, _MIRRORED_OPS[predicate.op]),
+    ]
+    for path_side, literal_side, op in sides:
+        if (
+            isinstance(path_side, ast.Path)
+            and path_side.var == var
+            and not path_side.has_subscript
+            and len(path_side.attribute_names) == 1
+            and isinstance(literal_side, ast.Literal)
+            and literal_side.value is not None
+        ):
+            if op == "=":
+                return IndexCondition(
+                    attribute_path=prefix + path_side.attribute_names,
+                    binding=binding,
+                    kind="eq",
+                    value=literal_side.value,
+                )
+            return IndexCondition(
+                attribute_path=prefix + path_side.attribute_names,
+                binding=binding,
+                kind="range",
+                value=(op, literal_side.value),
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# candidate selection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanReport:
+    """What the planner decided — surfaced for tests and benchmarks."""
+
+    used_indexes: list[str]
+    prefix_joins: int = 0
+
+    @property
+    def used_any(self) -> bool:
+        return bool(self.used_indexes)
+
+
+def candidate_roots(
+    entry: TableEntry, conditions: list[IndexCondition]
+) -> tuple[Optional[list[TID]], PlanReport]:
+    """Object roots that can possibly satisfy the indexed conditions.
+
+    ``None`` means no index applied (scan).  The candidate set is always a
+    superset of the true result; the executor re-verifies.
+    """
+    report = PlanReport(used_indexes=[])
+    matched: list[tuple[IndexCondition, dict[TID, list[HierarchicalAddress]], bool]] = []
+    for condition in conditions:
+        hit = _lookup(entry, condition)
+        if hit is None:
+            continue
+        index_name, by_root, hierarchical = hit
+        report.used_indexes.append(index_name)
+        matched.append((condition, by_root, hierarchical))
+    if not matched:
+        return None, report
+
+    roots: Optional[set[TID]] = None
+    for _condition, by_root, _hierarchical in matched:
+        keys = set(by_root)
+        roots = keys if roots is None else roots & keys
+    assert roots is not None
+
+    # Prefix joins: conditions sharing a quantifier-binding prefix must hit
+    # the same complex subobject at the shared levels (the paper's P2=F2).
+    for i in range(len(matched)):
+        for j in range(i + 1, len(matched)):
+            cond_a, by_a, hier_a = matched[i]
+            cond_b, by_b, hier_b = matched[j]
+            shared = _shared_binding(cond_a.binding, cond_b.binding)
+            if shared == 0 or not (hier_a and hier_b):
+                continue
+            report.prefix_joins += 1
+            roots = {
+                root
+                for root in roots
+                if any(
+                    a.shares_prefix(b, shared)
+                    for a in by_a.get(root, ())
+                    for b in by_b.get(root, ())
+                )
+            }
+    ordered = sorted(roots, key=lambda tid: (tid.page, tid.slot))
+    return ordered, report
+
+
+def _lookup(
+    entry: TableEntry, condition: IndexCondition
+) -> Optional[tuple[str, dict[TID, list[HierarchicalAddress]], bool]]:
+    """Find an index answering *condition*; returns (name, root→addresses,
+    is_hierarchical)."""
+    if condition.kind in ("eq", "range"):
+        for name, index in entry.indexes.items():
+            if isinstance(index, FlatIndex):
+                if index.definition.attribute_path != condition.attribute_path:
+                    continue
+                by_root = {
+                    tid: [] for tid in _index_hits(index, condition)
+                }
+                return name, by_root, False
+            if not isinstance(index, NF2Index):
+                continue
+            if index.definition.attribute_path != condition.attribute_path:
+                continue
+            mode = index.definition.mode
+            if mode is AddressingMode.DATA_TID:
+                # Unusable for object retrieval (Section 4.2, first approach).
+                continue
+            by_root: dict[TID, list[HierarchicalAddress]] = {}
+            for address in _index_hits(index, condition):
+                if isinstance(address, HierarchicalAddress):
+                    by_root.setdefault(address.root, []).append(address)
+                else:
+                    by_root.setdefault(address, [])
+            return name, by_root, mode is AddressingMode.HIERARCHICAL
+        return None
+    # contains
+    for name, index in entry.indexes.items():
+        if not isinstance(index, TextIndex):
+            continue
+        if index.definition.attribute_path != condition.attribute_path:
+            continue
+        addresses = index.search(condition.value)
+        if addresses is None:
+            return None  # pattern cannot be narrowed
+        by_root = {}
+        for address in addresses:
+            if isinstance(address, HierarchicalAddress):
+                by_root.setdefault(address.root, []).append(address)
+            else:
+                by_root.setdefault(address, [])
+        return name, by_root, False
+    return None
+
+
+def _index_hits(index, condition: IndexCondition) -> list:
+    """All addresses matching an eq or range condition (B+-tree scan)."""
+    if condition.kind == "eq":
+        return index.search(condition.value)
+    op, bound = condition.value
+    if op == "<":
+        scan = index.range(high=bound, include_high=False)
+    elif op == "<=":
+        scan = index.range(high=bound)
+    elif op == ">":
+        scan = index.range(low=bound, include_low=False)
+    else:  # '>='
+        scan = index.range(low=bound)
+    hits = []
+    for _key, addresses in scan:
+        hits.extend(addresses)
+    return hits
+
+
+def _shared_binding(a: tuple[str, ...], b: tuple[str, ...]) -> int:
+    shared = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        shared += 1
+    return shared

@@ -1,0 +1,115 @@
+"""ASCII rendering of (nested) tables, in the style of the paper's figures.
+
+Unordered tables are headed ``{ NAME }`` and ordered tables ``< NAME >``,
+matching the paper's bracket convention.  Nested subtables render as
+multi-line blocks inside their parent cell.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Optional
+
+from repro.model.schema import TableSchema
+from repro.model.values import TableValue, TupleValue
+
+
+def format_atom(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def _block_width(lines: list[str]) -> int:
+    return max((len(line) for line in lines), default=0)
+
+
+def _pad_block(lines: list[str], width: int, height: int) -> list[str]:
+    padded = [line.ljust(width) for line in lines]
+    padded.extend(" " * width for _ in range(height - len(lines)))
+    return padded
+
+
+def _render_rows(table: TableValue) -> tuple[list[str], list[list[str]]]:
+    """Return (column header lines per attribute, cell blocks per row)."""
+    headers: list[str] = []
+    for attr in table.schema.attributes:
+        if attr.is_table:
+            assert attr.table is not None
+            mark = f"< {attr.name} >" if attr.table.ordered else f"{{ {attr.name} }}"
+            headers.append(mark)
+        else:
+            headers.append(attr.name)
+    cells: list[list[str]] = []
+    for row in table.rows:
+        row_cells: list[str] = []
+        for attr in table.schema.attributes:
+            value = row[attr.name]
+            if isinstance(value, TableValue):
+                row_cells.append(_render_body(value))
+            else:
+                row_cells.append(format_atom(value))
+        cells.append(row_cells)
+    return headers, cells
+
+
+def _render_body(table: TableValue) -> str:
+    """Render a table's grid without an outer title line."""
+    headers, rows = _render_rows(table)
+    columns = len(headers)
+    # Each cell is a multi-line block.
+    blocks: list[list[list[str]]] = []
+    for row in rows:
+        blocks.append([cell.split("\n") for cell in row])
+    widths = [len(h) for h in headers]
+    for row in blocks:
+        for index in range(columns):
+            widths[index] = max(widths[index], _block_width(row[index]))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    out: list[str] = [sep]
+    out.append(
+        "|" + "|".join(f" {headers[i].ljust(widths[i])} " for i in range(columns)) + "|"
+    )
+    out.append(sep)
+    for row in blocks:
+        height = max(len(cell) for cell in row)
+        padded = [_pad_block(cell, widths[i], height) for i, cell in enumerate(row)]
+        for line_index in range(height):
+            out.append(
+                "|"
+                + "|".join(f" {padded[i][line_index]} " for i in range(columns))
+                + "|"
+            )
+        out.append(sep)
+    if not blocks:
+        out.append(sep)
+    return "\n".join(out)
+
+
+def render_table(table: TableValue, title: Optional[str] = None) -> str:
+    """Render a table with a title line, e.g. ``{ DEPARTMENTS }``."""
+    name = title if title is not None else table.schema.name
+    mark = f"< {name} >" if table.ordered else f"{{ {name} }}"
+    return f"{mark}\n{_render_body(table)}"
+
+
+def render_schema_tree(schema: TableSchema, indent: str = "") -> str:
+    """Render a schema as an indented tree (used to reproduce Fig 1's
+    hierarchy diagram)."""
+    kind = "< >" if schema.ordered else "{ }"
+    lines = [f"{indent}{schema.name} {kind}"]
+    for attr in schema.attributes:
+        if attr.is_atomic:
+            assert attr.atomic_type is not None
+            lines.append(f"{indent}  - {attr.name}: {attr.atomic_type.value}")
+        else:
+            assert attr.table is not None
+            lines.append(render_schema_tree(attr.table, indent + "  "))
+    return "\n".join(lines)

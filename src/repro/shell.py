@@ -1,0 +1,157 @@
+"""An interactive shell for the NF2 DBMS.
+
+::
+
+    python -m repro.shell [database-file]
+
+Statements end with ``;``.  Besides the query language, the shell offers
+dot-commands::
+
+    .tables              list tables
+    .schema NAME         show a table's DDL
+    .indexes             list indexes
+    .stats               buffer-manager counters
+    .storage             per-table storage report (pages, fill, MD/data)
+    .verify              consistency check (CHECK TABLE)
+    .save                persist (disk-backed databases)
+    .help                this text
+    .quit                leave
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.database import Database
+from repro.errors import ReproError
+from repro.model.ddl import schema_to_ddl
+from repro.model.values import TableValue
+from repro.render import render_table
+
+PROMPT = "nf2> "
+CONTINUATION = "...> "
+
+
+def execute_line(db: Database, statement: str, out=sys.stdout) -> None:
+    """Run one statement and print its outcome."""
+    try:
+        result = db.execute(statement)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return
+    if isinstance(result, TableValue):
+        print(render_table(result, title="RESULT"), file=out)
+        print(f"({len(result)} tuple{'s' if len(result) != 1 else ''})", file=out)
+    elif isinstance(result, int):
+        print(f"{result} tuple{'s' if result != 1 else ''} affected", file=out)
+    elif result is not None:
+        print(f"ok: {getattr(result, 'name', result)}", file=out)
+    else:
+        print("ok", file=out)
+
+
+def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
+    """Handle a dot-command; returns False when the shell should exit."""
+    parts = line.split()
+    command = parts[0]
+    if command in (".quit", ".exit"):
+        return False
+    if command == ".help":
+        print(__doc__, file=out)
+    elif command == ".tables":
+        for entry in db.catalog.tables():
+            kind = "1NF" if entry.schema.is_flat else "NF2"
+            extra = f", versioned ({entry.versioning})" if entry.versioned else ""
+            print(
+                f"  {entry.name}  [{kind}, {len(entry.tids)} tuples{extra}]",
+                file=out,
+            )
+    elif command == ".schema":
+        if len(parts) < 2:
+            print("usage: .schema TABLE", file=out)
+        else:
+            try:
+                print(schema_to_ddl(db.table_schema(parts[1])), file=out)
+            except ReproError as exc:
+                print(f"error: {exc}", file=out)
+    elif command == ".indexes":
+        for entry in db.catalog.tables():
+            for name, index in entry.indexes.items():
+                path = ".".join(index.definition.attribute_path)
+                print(f"  {name} ON {entry.name} ({path})", file=out)
+    elif command == ".stats":
+        for key, value in db.io_stats.snapshot().items():
+            print(f"  {key}: {value}", file=out)
+    elif command == ".storage":
+        report = db.storage_report()
+        print(f"  total pages: {report['total_pages']}", file=out)
+        for name, stats in report["tables"].items():
+            extras = ""
+            if "md_pages" in stats:
+                extras = f", {stats['md_pages']} MD / {stats['data_pages']} data pages"
+            print(
+                f"  {name}: {stats['tuples']} tuples on {stats['pages']} "
+                f"pages (fill {stats['fill_factor']:.0%}{extras})",
+                file=out,
+            )
+    elif command == ".verify":
+        problems = db.verify()
+        if problems:
+            for problem in problems:
+                print(f"  ! {problem}", file=out)
+        else:
+            print("  database is consistent", file=out)
+    elif command == ".save":
+        try:
+            db.save()
+            print("saved", file=out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+    else:
+        print(f"unknown command {command!r}; try .help", file=out)
+    return True
+
+
+def run_script(db: Database, text: str, out=sys.stdout) -> None:
+    """Execute ';'-separated statements from a string (non-interactive)."""
+    for statement in text.split(";"):
+        statement = statement.strip()
+        if statement:
+            execute_line(db, statement, out=out)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = argv[0] if argv else None
+    db = Database(path=path)
+    where = path or "in-memory"
+    print(f"AIM-II NF2 shell — {where} database; .help for help")
+    buffer = ""
+    try:
+        while True:
+            try:
+                line = input(CONTINUATION if buffer else PROMPT)
+            except EOFError:
+                print()
+                break
+            stripped = line.strip()
+            if not buffer and stripped.startswith("."):
+                if not dot_command(db, stripped):
+                    break
+                continue
+            buffer += ("\n" if buffer else "") + line
+            while ";" in buffer:
+                statement, _, buffer = buffer.partition(";")
+                if statement.strip():
+                    execute_line(db, statement.strip())
+                buffer = buffer.lstrip()
+    finally:
+        if path:
+            db.save()
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The from-scratch storage engine of the AIM-II reproduction.
+
+Layering (bottom-up):
+
+* :mod:`repro.storage.pagedfile` — raw page store (memory or disk backed);
+* :mod:`repro.storage.buffer` — buffer manager with LRU replacement and
+  logical/physical I/O counters;
+* :mod:`repro.storage.page` — slotted pages with stable slot numbers and
+  record forwarding;
+* :mod:`repro.storage.segment` — page allocation + record-level operations
+  addressed by TIDs;
+* :mod:`repro.storage.heap` — heap files for flat (1NF) tables;
+* :mod:`repro.storage.subtuple` — byte codecs for data and MD subtuples;
+* :mod:`repro.storage.address_space` — a complex object's local address
+  space (page list + Mini TIDs);
+* :mod:`repro.storage.minidirectory` — the SS1 / SS2 / SS3 Mini Directory
+  layouts;
+* :mod:`repro.storage.complex_object` — store / load / navigate / update
+  complex objects.
+"""
+
+from repro.storage.tid import TID, MiniTID
+from repro.storage.pagedfile import MemoryPagedFile, DiskPagedFile
+from repro.storage.buffer import BufferManager, BufferStats
+from repro.storage.segment import Segment
+from repro.storage.heap import HeapFile
+from repro.storage.minidirectory import StorageStructure, get_codec
+from repro.storage.complex_object import ComplexObjectManager
+
+__all__ = [
+    "TID",
+    "MiniTID",
+    "MemoryPagedFile",
+    "DiskPagedFile",
+    "BufferManager",
+    "BufferStats",
+    "Segment",
+    "HeapFile",
+    "StorageStructure",
+    "get_codec",
+    "ComplexObjectManager",
+]

@@ -1,0 +1,167 @@
+"""Buffer manager: a fixed pool of page frames with LRU replacement.
+
+The buffer manager is the metering point for the reproduction's cost model:
+``stats.logical_reads`` counts page requests (the paper's "pages touched")
+and ``stats.physical_reads`` / ``physical_writes`` count backend I/O.
+Benchmarks reset the counters, run an operation, and report the deltas.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import BufferError_
+from repro.storage.constants import PAGE_SIZE
+from repro.storage.page import Page
+from repro.storage.pagedfile import PagedFile
+
+
+@dataclass
+class BufferStats:
+    logical_reads: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+    evictions: int = 0
+    #: distinct pages touched since the last reset (the clustering metric)
+    pages_touched: set = field(default_factory=set)
+
+    def reset(self) -> None:
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.evictions = 0
+        self.pages_touched = set()
+
+    def snapshot(self) -> dict:
+        return {
+            "logical_reads": self.logical_reads,
+            "physical_reads": self.physical_reads,
+            "physical_writes": self.physical_writes,
+            "evictions": self.evictions,
+            "distinct_pages": len(self.pages_touched),
+        }
+
+
+class _Frame:
+    __slots__ = ("page_no", "buffer", "pin_count", "dirty")
+
+    def __init__(self, page_no: int, buffer: bytearray):
+        self.page_no = page_no
+        self.buffer = buffer
+        self.pin_count = 0
+        self.dirty = False
+
+
+class BufferManager:
+    """LRU buffer pool over a :class:`~repro.storage.pagedfile.PagedFile`."""
+
+    def __init__(self, file: PagedFile, capacity: int = 256):
+        if capacity < 1:
+            raise BufferError_("buffer capacity must be positive")
+        self._file = file
+        self._capacity = capacity
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.stats = BufferStats()
+
+    # -- page access -----------------------------------------------------------
+
+    def fetch(self, page_no: int) -> Page:
+        """Pin a page and return a :class:`Page` view onto its frame."""
+        self.stats.logical_reads += 1
+        self.stats.pages_touched.add(page_no)
+        frame = self._frames.get(page_no)
+        if frame is None:
+            self._make_room()
+            buffer = self._file.read_page(page_no)
+            self.stats.physical_reads += 1
+            frame = _Frame(page_no, buffer)
+            self._frames[page_no] = frame
+        else:
+            self._frames.move_to_end(page_no)
+        frame.pin_count += 1
+        return Page(frame.buffer)
+
+    def unpin(self, page_no: int, dirty: bool = False) -> None:
+        frame = self._frames.get(page_no)
+        if frame is None or frame.pin_count == 0:
+            raise BufferError_(f"page {page_no} is not pinned")
+        frame.pin_count -= 1
+        frame.dirty = frame.dirty or dirty
+
+    @contextmanager
+    def page(self, page_no: int, dirty: bool = False) -> Iterator[Page]:
+        """``with buffer.page(n) as page: ...`` — fetch/unpin pairing."""
+        page = self.fetch(page_no)
+        try:
+            yield page
+        finally:
+            self.unpin(page_no, dirty=dirty)
+
+    def new_page(self) -> tuple[int, Page]:
+        """Allocate, format, and pin a fresh page."""
+        page_no = self._file.allocate_page()
+        self._make_room()
+        buffer = bytearray(PAGE_SIZE)
+        frame = _Frame(page_no, buffer)
+        frame.dirty = True
+        self._frames[page_no] = frame
+        frame.pin_count += 1
+        self.stats.logical_reads += 1
+        self.stats.pages_touched.add(page_no)
+        page = Page.format(frame.buffer)
+        return page_no, page
+
+    # -- maintenance -------------------------------------------------------------
+
+    def flush_page(self, page_no: int) -> None:
+        frame = self._frames.get(page_no)
+        if frame is not None and frame.dirty:
+            self._file.write_page(page_no, bytes(frame.buffer))
+            self.stats.physical_writes += 1
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        for page_no in list(self._frames):
+            self.flush_page(page_no)
+        self._file.sync()
+
+    def drop(self, page_no: int) -> None:
+        """Forget a cached page without writing it (used when freeing
+        pages)."""
+        frame = self._frames.get(page_no)
+        if frame is not None and frame.pin_count:
+            raise BufferError_(f"cannot drop pinned page {page_no}")
+        self._frames.pop(page_no, None)
+
+    def invalidate_cache(self) -> None:
+        """Empty the pool (flushing dirty frames) — lets benchmarks measure
+        cold-cache physical I/O."""
+        self.flush_all()
+        for frame in self._frames.values():
+            if frame.pin_count:
+                raise BufferError_("cannot invalidate with pinned pages")
+        self._frames.clear()
+
+    @property
+    def pinned_pages(self) -> list[int]:
+        return [n for n, f in self._frames.items() if f.pin_count > 0]
+
+    # -- internal -------------------------------------------------------------------
+
+    def _make_room(self) -> None:
+        while len(self._frames) >= self._capacity:
+            victim = None
+            for page_no, frame in self._frames.items():
+                if frame.pin_count == 0:
+                    victim = page_no
+                    break
+            if victim is None:
+                raise BufferError_("buffer pool exhausted: every frame pinned")
+            frame = self._frames.pop(victim)
+            if frame.dirty:
+                self._file.write_page(frame.page_no, bytes(frame.buffer))
+                self.stats.physical_writes += 1
+            self.stats.evictions += 1

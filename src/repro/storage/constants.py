@@ -1,0 +1,35 @@
+"""Storage-engine constants."""
+
+#: Size of a database page in bytes.
+PAGE_SIZE = 4096
+
+#: Bytes of the fixed page header (see :mod:`repro.storage.page`).
+PAGE_HEADER_SIZE = 8
+
+#: Bytes per slot-directory entry (u16 offset + u16 length).
+SLOT_ENTRY_SIZE = 4
+
+#: Encoded size of a full TID (u32 page number + u16 slot).
+TID_SIZE = 6
+
+#: Encoded size of a Mini TID (u16 local page index + u16 slot) — the paper:
+#: "Mini TIDs can be somewhat smaller than TIDs".
+MINI_TID_SIZE = 4
+
+#: Largest record payload a page can hold (flag byte + one slot entry).
+MAX_RECORD_SIZE = PAGE_SIZE - PAGE_HEADER_SIZE - SLOT_ENTRY_SIZE - 1
+
+# Record flags (first byte of every stored record).
+FLAG_NORMAL = 0      #: plain record
+FLAG_FORWARD = 1     #: payload is a full TID of the relocated record
+FLAG_LFORWARD = 2    #: payload is a Mini TID of the relocated record
+FLAG_REMOTE = 3      #: relocated record body; skipped by heap scans
+FLAG_CHAIN = 4       #: head of a multi-page record: u32 length + TID of part 1
+FLAG_CHAIN_PART = 5  #: chain part: TID of next part (or NIL) + chunk bytes
+FLAG_LCHAIN = 6      #: local chain head: u32 length + Mini TID of part 1
+FLAG_LCHAIN_PART = 7 #: local chain part: Mini TID of next (or NIL) + chunk
+
+#: per-part overhead of a chained record (next-part TID)
+CHAIN_PART_HEADER = 6
+#: largest chunk stored per chain part
+CHAIN_CHUNK = MAX_RECORD_SIZE - CHAIN_PART_HEADER - 64

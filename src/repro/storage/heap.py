@@ -1,0 +1,62 @@
+"""Heap files for flat (1NF) tables.
+
+A flat table has no Mini Directory at all (Section 4.1: "a flat (1NF) table
+does not have Mini Directories for its objects") — every tuple is one data
+subtuple in a heap, addressed by its TID.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.model.schema import TableSchema
+from repro.model.values import TupleValue
+from repro.storage.segment import Segment
+from repro.storage.subtuple import decode_data_subtuple, encode_data_subtuple
+from repro.storage.tid import TID
+
+
+class HeapFile:
+    """Tuple storage for one flat table."""
+
+    def __init__(self, segment: Segment, schema: TableSchema):
+        if not schema.is_flat:
+            raise ValueError(
+                f"HeapFile stores 1NF tables only; {schema.name!r} is nested"
+            )
+        self._segment = segment
+        self.schema = schema
+
+    @property
+    def segment(self) -> Segment:
+        return self._segment
+
+    def insert(self, value: TupleValue) -> TID:
+        payload = encode_data_subtuple(self.schema.attributes, value.atomic_values())
+        return self._segment.insert_record(payload)
+
+    def fetch(self, tid: TID) -> TupleValue:
+        payload = self._segment.read_record(tid)
+        values = decode_data_subtuple(self.schema.attributes, payload)
+        return TupleValue(
+            self.schema,
+            {attr.name: v for attr, v in zip(self.schema.attributes, values)},
+        )
+
+    def update(self, tid: TID, value: TupleValue) -> None:
+        payload = encode_data_subtuple(self.schema.attributes, value.atomic_values())
+        self._segment.update_record(tid, payload)
+
+    def delete(self, tid: TID) -> None:
+        self._segment.delete_record(tid)
+
+    def scan(self) -> Iterator[tuple[TID, TupleValue]]:
+        for tid, payload in self._segment.scan():
+            values = decode_data_subtuple(self.schema.attributes, payload)
+            yield tid, TupleValue(
+                self.schema,
+                {attr.name: v for attr, v in zip(self.schema.attributes, values)},
+            )
+
+    def count(self) -> int:
+        return sum(1 for _ in self._segment.scan())

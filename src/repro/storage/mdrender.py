@@ -1,0 +1,66 @@
+"""Render a stored complex object's Mini Directory as ASCII, in the
+spirit of Fig 6/7/8 of the paper.
+
+MD subtuples are drawn as ``[MD ...]`` boxes (the paper's rectangles),
+data subtuples as ``(...)`` ovals, with the D/C pointer structure shown by
+indentation.
+"""
+
+from __future__ import annotations
+
+from repro.model.schema import TableSchema
+from repro.storage.complex_object import ComplexObjectManager, OpenObject
+from repro.storage.minidirectory import DecodedElement
+from repro.storage.tid import TID
+
+
+def _data_text(obj: OpenObject, schema: TableSchema, element: DecodedElement) -> str:
+    atoms = obj.read_atoms(schema, element)
+    rendered = " ".join(str(v) for v in atoms.values())
+    return f"({rendered})  @ {element.data}"
+
+
+def render_mini_directory(
+    manager: ComplexObjectManager, root_tid: TID, schema: TableSchema
+) -> str:
+    """The whole object's MD tree + data subtuples, one line per node."""
+    obj = manager.open(root_tid, schema)
+    lines: list[str] = []
+    lines.append(
+        f"[ROOT MD @ {root_tid}]  structure={manager.structure.value}  "
+        f"pages={obj.space.page_list}"
+    )
+
+    def render_element(
+        schema: TableSchema, element: DecodedElement, indent: str, label: str
+    ) -> None:
+        if element.md is not None:
+            lines.append(f"{indent}[MD {label} @ {element.md}]")
+            indent += "  "
+        lines.append(f"{indent}D-> {_data_text(obj, schema, element)}")
+        for attr, subtable in zip(schema.table_attributes, element.subtables):
+            assert attr.table is not None
+            if subtable.md is not None:
+                lines.append(
+                    f"{indent}C-> [MD subtable {attr.name} @ {subtable.md}]"
+                )
+                child_indent = indent + "  "
+            else:
+                lines.append(f"{indent}subtable {attr.name} (no MD subtuple)")
+                child_indent = indent + "  "
+            for position, child in enumerate(subtable.elements):
+                render_element(
+                    attr.table, child, child_indent, f"{attr.name}[{position}]"
+                )
+
+    render_element(schema, obj.decoded, "  ", schema.name)
+    return "\n".join(lines)
+
+
+def md_statistics_row(manager: ComplexObjectManager, root_tid: TID, schema: TableSchema) -> str:
+    stats = manager.statistics(root_tid, schema)
+    return (
+        f"{stats['structure']}: {stats['md_subtuples']} MD subtuples, "
+        f"{stats['md_bytes']} MD bytes, {stats['data_subtuples']} data "
+        f"subtuples, {stats['data_bytes']} data bytes, {stats['pages']} pages"
+    )

@@ -1,0 +1,122 @@
+"""Raw page stores.
+
+A paged file knows nothing about records: it reads, writes, and allocates
+fixed-size pages.  Two backends are provided — an in-memory store (the
+default for tests and benchmarks) and a real on-disk file.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import SegmentError, StorageError
+from repro.storage.constants import PAGE_SIZE
+
+
+class PagedFile:
+    """Abstract page store."""
+
+    def read_page(self, page_no: int) -> bytearray:
+        raise NotImplementedError
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def allocate_page(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def page_count(self) -> int:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Flush to durable storage (no-op for the memory backend)."""
+
+    def close(self) -> None:
+        """Release resources."""
+
+
+class MemoryPagedFile(PagedFile):
+    """Pages held in RAM — fast and inspectable."""
+
+    def __init__(self) -> None:
+        self._pages: list[bytearray] = []
+
+    def read_page(self, page_no: int) -> bytearray:
+        self._check(page_no)
+        return bytearray(self._pages[page_no])
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        self._check(page_no)
+        if len(data) != PAGE_SIZE:
+            raise StorageError("page write must be exactly one page")
+        self._pages[page_no] = bytearray(data)
+
+    def allocate_page(self) -> int:
+        self._pages.append(bytearray(PAGE_SIZE))
+        return len(self._pages) - 1
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def _check(self, page_no: int) -> None:
+        if not 0 <= page_no < len(self._pages):
+            raise SegmentError(f"page {page_no} not allocated")
+
+
+class DiskPagedFile(PagedFile):
+    """Pages stored in a real file, one page per PAGE_SIZE-aligned extent."""
+
+    def __init__(self, path: str, create: bool = True):
+        mode = "r+b"
+        if not os.path.exists(path):
+            if not create:
+                raise StorageError(f"database file {path!r} does not exist")
+            with open(path, "wb"):
+                pass
+        self._file = open(path, mode)
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % PAGE_SIZE:
+            raise StorageError(f"file {path!r} is not page-aligned")
+        self._page_count = size // PAGE_SIZE
+        self.path = path
+
+    def read_page(self, page_no: int) -> bytearray:
+        self._check(page_no)
+        self._file.seek(page_no * PAGE_SIZE)
+        data = self._file.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"short read on page {page_no}")
+        return bytearray(data)
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        self._check(page_no)
+        if len(data) != PAGE_SIZE:
+            raise StorageError("page write must be exactly one page")
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(data)
+
+    def allocate_page(self) -> int:
+        page_no = self._page_count
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(b"\x00" * PAGE_SIZE)
+        self._page_count += 1
+        return page_no
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()
+
+    def _check(self, page_no: int) -> None:
+        if not 0 <= page_no < self._page_count:
+            raise SegmentError(f"page {page_no} not allocated")

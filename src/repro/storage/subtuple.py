@@ -1,0 +1,255 @@
+"""Byte codecs for subtuples.
+
+Two kinds of subtuple exist (Section 4.1):
+
+* **data subtuples** hold the "first level" atomic attribute values of an
+  object or subobject — and *no* structural information;
+* **MD subtuples** hold only structure: ``D`` pointers (→ data subtuples)
+  and ``C`` pointers (→ MD subtuples), encoded as Mini TIDs, plus — in the
+  root MD subtuple — the complex object's page list.
+
+A one-byte kind tag leads every subtuple so a page can be audited.
+"""
+
+from __future__ import annotations
+
+import datetime
+import struct
+from typing import Optional, Sequence
+
+from repro.errors import StorageError
+from repro.model.schema import AttributeSchema
+from repro.model.types import AtomicType
+from repro.model.values import AtomicValue
+from repro.storage.tid import MiniTID
+
+# Subtuple kind tags.
+KIND_DATA = 0xD1
+KIND_MD = 0xE1
+KIND_ROOT = 0xE2
+
+# Pointer tags inside MD subtuples — the paper's "D" and "C".
+POINTER_D = 0x01
+POINTER_C = 0x02
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+#: page-list entry representing a gap left by a removed page
+_PAGE_GAP = 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Data subtuples
+# ---------------------------------------------------------------------------
+
+
+def encode_data_subtuple(
+    attributes: Sequence[AttributeSchema], values: Sequence[AtomicValue]
+) -> bytes:
+    """Encode the atomic attribute values (in schema order).
+
+    *attributes* may include table-valued attributes; they are skipped, so
+    callers can pass a full schema attribute list together with
+    ``TupleValue.atomic_values()``.
+    """
+    atomic_attrs = [a for a in attributes if a.is_atomic]
+    if len(atomic_attrs) != len(values):
+        raise StorageError(
+            f"expected {len(atomic_attrs)} atomic values, got {len(values)}"
+        )
+    null_bitmap = bytearray((len(atomic_attrs) + 7) // 8)
+    body = bytearray()
+    for index, (attr, value) in enumerate(zip(atomic_attrs, values)):
+        if value is None:
+            null_bitmap[index // 8] |= 1 << (index % 8)
+            continue
+        assert attr.atomic_type is not None
+        body += _encode_atom(attr.atomic_type, value)
+    return bytes([KIND_DATA]) + bytes(null_bitmap) + bytes(body)
+
+
+def decode_data_subtuple(
+    attributes: Sequence[AttributeSchema], payload: bytes
+) -> tuple[AtomicValue, ...]:
+    """Inverse of :func:`encode_data_subtuple`."""
+    atomic_attrs = [a for a in attributes if a.is_atomic]
+    if not payload or payload[0] != KIND_DATA:
+        raise StorageError("not a data subtuple")
+    bitmap_len = (len(atomic_attrs) + 7) // 8
+    null_bitmap = payload[1:1 + bitmap_len]
+    offset = 1 + bitmap_len
+    values: list[AtomicValue] = []
+    for index, attr in enumerate(atomic_attrs):
+        if null_bitmap[index // 8] & (1 << (index % 8)):
+            values.append(None)
+            continue
+        assert attr.atomic_type is not None
+        value, offset = _decode_atom(attr.atomic_type, payload, offset)
+        values.append(value)
+    return tuple(values)
+
+
+def _encode_atom(type_: AtomicType, value: AtomicValue) -> bytes:
+    if type_ is AtomicType.INT:
+        return _I64.pack(value)  # type: ignore[arg-type]
+    if type_ is AtomicType.FLOAT:
+        return _F64.pack(value)  # type: ignore[arg-type]
+    if type_ is AtomicType.STRING:
+        raw = str(value).encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise StorageError("string longer than 65535 bytes")
+        return _U16.pack(len(raw)) + raw
+    if type_ is AtomicType.BOOL:
+        return b"\x01" if value else b"\x00"
+    if type_ is AtomicType.DATE:
+        assert isinstance(value, datetime.date)
+        return _U32.pack(value.toordinal())
+    raise StorageError(f"unhandled type {type_}")  # pragma: no cover
+
+
+def _decode_atom(type_: AtomicType, payload: bytes, offset: int) -> tuple[AtomicValue, int]:
+    if type_ is AtomicType.INT:
+        return _I64.unpack_from(payload, offset)[0], offset + 8
+    if type_ is AtomicType.FLOAT:
+        return _F64.unpack_from(payload, offset)[0], offset + 8
+    if type_ is AtomicType.STRING:
+        length = _U16.unpack_from(payload, offset)[0]
+        start = offset + 2
+        return payload[start:start + length].decode("utf-8"), start + length
+    if type_ is AtomicType.BOOL:
+        return payload[offset] != 0, offset + 1
+    if type_ is AtomicType.DATE:
+        ordinal = _U32.unpack_from(payload, offset)[0]
+        return datetime.date.fromordinal(ordinal), offset + 4
+    raise StorageError(f"unhandled type {type_}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# MD subtuples
+# ---------------------------------------------------------------------------
+
+
+def encode_pointers(pointers: Sequence[tuple[int, MiniTID]]) -> bytes:
+    """Encode a D/C pointer sequence: u16 count, then (tag, MiniTID) each."""
+    out = bytearray(_U16.pack(len(pointers)))
+    for tag, mini in pointers:
+        if tag not in (POINTER_D, POINTER_C):
+            raise StorageError(f"invalid pointer tag {tag}")
+        out.append(tag)
+        out += mini.encode()
+    return bytes(out)
+
+
+def decode_pointers(payload: bytes, offset: int) -> tuple[list[tuple[int, MiniTID]], int]:
+    count = _U16.unpack_from(payload, offset)[0]
+    offset += 2
+    pointers: list[tuple[int, MiniTID]] = []
+    for _ in range(count):
+        tag = payload[offset]
+        mini = MiniTID.decode(payload, offset + 1)
+        pointers.append((tag, mini))
+        offset += 5
+    return pointers, offset
+
+
+PointerGroup = Sequence[tuple[int, MiniTID]]
+
+
+def encode_pointer_groups(groups: Sequence[PointerGroup]) -> bytes:
+    """Encode a sequence of pointer groups (u16 group count, then each
+    group as a pointer sequence).
+
+    Groups give the three storage structures their shapes: e.g. an SS3
+    subtable MD subtuple uses one group per subobject, an SS2 MD subtuple
+    one group per subtable.
+    """
+    out = bytearray(_U16.pack(len(groups)))
+    for group in groups:
+        out += encode_pointers(group)
+    return bytes(out)
+
+
+def decode_pointer_groups(payload: bytes, offset: int) -> tuple[list[list[tuple[int, MiniTID]]], int]:
+    count = _U16.unpack_from(payload, offset)[0]
+    offset += 2
+    groups: list[list[tuple[int, MiniTID]]] = []
+    for _ in range(count):
+        pointers, offset = decode_pointers(payload, offset)
+        groups.append(pointers)
+    return groups, offset
+
+
+def encode_md_subtuple(groups: Sequence[PointerGroup]) -> bytes:
+    """An inner MD subtuple: kind tag + pointer groups."""
+    return bytes([KIND_MD]) + encode_pointer_groups(groups)
+
+
+def decode_md_subtuple(payload: bytes) -> list[list[tuple[int, MiniTID]]]:
+    if not payload or payload[0] != KIND_MD:
+        raise StorageError("not an MD subtuple")
+    groups, _offset = decode_pointer_groups(payload, 1)
+    return groups
+
+
+#: high bit of a page-list entry marks an MD page (structure/data
+#: separation at the page level)
+_MD_PAGE_FLAG = 0x8000_0000
+
+
+def encode_root_md(
+    page_list: Sequence[Optional[int]],
+    groups: Sequence[PointerGroup],
+    page_roles: Optional[Sequence[bool]] = None,
+) -> bytes:
+    """The root MD subtuple: kind tag + page list + pointer groups.
+
+    The page list *is* the complex object's local address space; ``None``
+    entries are gaps left by removed pages (kept so existing Mini TIDs stay
+    valid — Section 4.1).  ``page_roles[i]`` marks entry *i* as an MD page
+    (True) or data page (False), encoded in the entry's high bit.
+    """
+    out = bytearray([KIND_ROOT])
+    out += _U16.pack(len(page_list))
+    roles = page_roles if page_roles is not None else [False] * len(page_list)
+    for entry, is_md in zip(page_list, roles):
+        if entry is None:
+            out += _U32.pack(_PAGE_GAP)
+        else:
+            if entry >= _MD_PAGE_FLAG - 1:  # keep 0xFFFFFFFF free for gaps
+                raise StorageError(f"page number {entry} out of range")
+            out += _U32.pack(entry | (_MD_PAGE_FLAG if is_md else 0))
+    out += encode_pointer_groups(groups)
+    return bytes(out)
+
+
+def decode_root_md(
+    payload: bytes,
+) -> tuple[list[Optional[int]], list[list[tuple[int, MiniTID]]], list[bool]]:
+    """Inverse of :func:`encode_root_md`; returns (page list, groups,
+    page roles)."""
+    if not payload or payload[0] != KIND_ROOT:
+        raise StorageError("not a root MD subtuple")
+    count = _U16.unpack_from(payload, 1)[0]
+    offset = 3
+    page_list: list[Optional[int]] = []
+    page_roles: list[bool] = []
+    for _ in range(count):
+        entry = _U32.unpack_from(payload, offset)[0]
+        if entry == _PAGE_GAP:
+            page_list.append(None)
+            page_roles.append(False)
+        else:
+            page_list.append(entry & ~_MD_PAGE_FLAG)
+            page_roles.append(bool(entry & _MD_PAGE_FLAG))
+        offset += 4
+    groups, _offset = decode_pointer_groups(payload, offset)
+    return page_list, groups, page_roles
+
+
+def subtuple_kind(payload: bytes) -> int:
+    if not payload:
+        raise StorageError("empty subtuple")
+    return payload[0]

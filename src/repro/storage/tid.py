@@ -1,0 +1,78 @@
+"""TIDs and Mini TIDs.
+
+A :class:`TID` addresses a record anywhere in a database segment (page
+number relative to the segment, plus slot).  A :class:`MiniTID` addresses a
+subtuple *inside one complex object*: its page component is an index into
+the object's page list (the local address space), not a segment page number
+— which is what makes whole-object relocation possible without touching any
+pointer (Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple, Optional
+
+from repro.errors import StorageError
+from repro.storage.constants import MINI_TID_SIZE, TID_SIZE
+
+_TID_STRUCT = struct.Struct(">IH")
+_MINI_STRUCT = struct.Struct(">HH")
+
+#: Wire value representing "no Mini TID".
+_MINI_NONE = b"\xff\xff\xff\xff"
+
+
+class TID(NamedTuple):
+    """Segment-global tuple identifier: (page number, slot)."""
+
+    page: int
+    slot: int
+
+    def encode(self) -> bytes:
+        return _TID_STRUCT.pack(self.page, self.slot)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> "TID":
+        if len(data) - offset < TID_SIZE:
+            raise StorageError("truncated TID")
+        page, slot = _TID_STRUCT.unpack_from(data, offset)
+        return cls(page, slot)
+
+    def __str__(self) -> str:
+        return f"TID({self.page},{self.slot})"
+
+
+class MiniTID(NamedTuple):
+    """Object-local tuple identifier: (page-list index, slot).
+
+    The page component is translated through the complex object's page list
+    into a segment page number on every access.
+    """
+
+    local_page: int
+    slot: int
+
+    def encode(self) -> bytes:
+        return _MINI_STRUCT.pack(self.local_page, self.slot)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> "MiniTID":
+        if len(data) - offset < MINI_TID_SIZE:
+            raise StorageError("truncated Mini TID")
+        local_page, slot = _MINI_STRUCT.unpack_from(data, offset)
+        return cls(local_page, slot)
+
+    def __str__(self) -> str:
+        return f"MiniTID({self.local_page},{self.slot})"
+
+
+def encode_optional_mini(mini: Optional[MiniTID]) -> bytes:
+    return _MINI_NONE if mini is None else mini.encode()
+
+
+def decode_optional_mini(data: bytes, offset: int = 0) -> Optional[MiniTID]:
+    chunk = bytes(data[offset:offset + MINI_TID_SIZE])
+    if chunk == _MINI_NONE:
+        return None
+    return MiniTID.decode(chunk)

@@ -1,0 +1,5 @@
+"""Time-version support (ASOF queries)."""
+
+from repro.temporal.versions import VersionStore, Timestamp, canonical_timestamp
+
+__all__ = ["VersionStore", "Timestamp", "canonical_timestamp"]

@@ -1,0 +1,220 @@
+"""Time versions for versioned tables (Section 5's temporal support).
+
+A versioned table keeps, per logical object, a chain of committed states
+with ``[valid_from, valid_to)`` intervals.  ``ASOF t`` queries (the only
+temporal operator the AIM-II prototype surfaced at the language level)
+reconstruct the table as of *t* by picking the version whose interval
+contains *t*.
+
+Mutations of versioned objects are copy-on-write at the object level: the
+old stored object stays untouched as history and a new object is stored.
+(The paper versions at the subtuple level for space reasons /DLW84, Lu84/;
+object-level COW has identical ASOF semantics — the trade-off is recorded
+in DESIGN.md and measured in the temporal ablation benchmark.)
+
+Timestamps may be dates (the paper's "ASOF January 15th, 1984") or
+monotonically increasing logical integers; they are compared on a common
+axis via :func:`canonical_timestamp`.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import TemporalError
+from repro.storage.tid import TID
+
+Timestamp = Union[int, float, datetime.date]
+
+#: end-of-time marker for open intervals
+_FOREVER = float("inf")
+
+
+def canonical_timestamp(value: Timestamp) -> float:
+    """Map a timestamp to the common comparison axis.
+
+    Dates map to their ordinal day; logical integers count within a day
+    (scaled down), so interleaving dates and logical ticks stays ordered as
+    long as logical ticks are used consistently.
+    """
+    if isinstance(value, datetime.datetime):
+        return value.date().toordinal() + (
+            value - datetime.datetime.combine(value.date(), datetime.time())
+        ).total_seconds() / 86_400.0
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TemporalError(f"invalid timestamp {value!r}")
+    return float(value)
+
+
+@dataclass
+class Version:
+    valid_from: float
+    valid_to: float  # exclusive; _FOREVER while current
+    root_tid: Optional[TID]  # None encodes a deletion tombstone
+
+    @property
+    def is_current(self) -> bool:
+        return self.valid_to == _FOREVER
+
+
+@dataclass
+class VersionChain:
+    object_id: int
+    versions: list[Version] = field(default_factory=list)
+
+    def at(self, when: float) -> Optional[Version]:
+        for version in self.versions:
+            if version.valid_from <= when < version.valid_to:
+                return version
+        return None
+
+    @property
+    def current(self) -> Optional[Version]:
+        if self.versions and self.versions[-1].is_current:
+            return self.versions[-1]
+        return None
+
+
+class VersionStore:
+    """Version chains for one versioned table."""
+
+    def __init__(self) -> None:
+        self._chains: dict[int, VersionChain] = {}
+        self._next_object_id = 1
+        self._last_timestamp = 0.0
+
+    # -- recording -------------------------------------------------------------
+
+    def _stamp(self, at: Optional[Timestamp]) -> float:
+        when = canonical_timestamp(at) if at is not None else self._last_timestamp + 1.0
+        if when < self._last_timestamp:
+            raise TemporalError(
+                f"timestamps must not go backwards ({when} < {self._last_timestamp})"
+            )
+        self._last_timestamp = when
+        return when
+
+    def record_insert(self, root_tid: TID, at: Optional[Timestamp] = None) -> int:
+        """Start a new chain; returns the logical object id."""
+        when = self._stamp(at)
+        object_id = self._next_object_id
+        self._next_object_id += 1
+        self._chains[object_id] = VersionChain(
+            object_id, [Version(when, _FOREVER, root_tid)]
+        )
+        return object_id
+
+    def record_update(
+        self, object_id: int, new_root_tid: TID, at: Optional[Timestamp] = None
+    ) -> None:
+        self._close_current(object_id, at, new_root_tid)
+
+    def record_delete(self, object_id: int, at: Optional[Timestamp] = None) -> None:
+        self._close_current(object_id, at, None)
+
+    def _close_current(
+        self, object_id: int, at: Optional[Timestamp], new_root: Optional[TID]
+    ) -> None:
+        chain = self._chains.get(object_id)
+        if chain is None or chain.current is None:
+            raise TemporalError(f"object {object_id} has no current version")
+        when = self._stamp(at)
+        current = chain.current
+        if when < current.valid_from:
+            raise TemporalError("timestamps must not go backwards")
+        current.valid_to = when
+        if new_root is not None:
+            chain.versions.append(Version(when, _FOREVER, new_root))
+
+    # -- reading -------------------------------------------------------------------
+
+    def current_roots(self) -> list[TID]:
+        out = []
+        for chain in self._chains.values():
+            version = chain.current
+            if version is not None and version.root_tid is not None:
+                out.append(version.root_tid)
+        return out
+
+    def roots_asof(self, when: Timestamp) -> list[TID]:
+        """Root TIDs of every object version valid at *when*."""
+        point = canonical_timestamp(when)
+        out = []
+        for chain in self._chains.values():
+            version = chain.at(point)
+            if version is not None and version.root_tid is not None:
+                out.append(version.root_tid)
+        return out
+
+    def object_id_of(self, root_tid: TID) -> int:
+        for chain in self._chains.values():
+            version = chain.current
+            if version is not None and version.root_tid == root_tid:
+                return chain.object_id
+        raise TemporalError(f"{root_tid} is not a current version")
+
+    def history(self, object_id: int) -> list[Version]:
+        chain = self._chains.get(object_id)
+        if chain is None:
+            raise TemporalError(f"unknown object {object_id}")
+        return list(chain.versions)
+
+    def all_roots_ever(self) -> list[TID]:
+        """Every stored version's root (history included) — used by the
+        space-overhead benchmark."""
+        out = []
+        for chain in self._chains.values():
+            for version in chain.versions:
+                if version.root_tid is not None:
+                    out.append(version.root_tid)
+        return out
+
+    @property
+    def version_count(self) -> int:
+        return sum(len(c.versions) for c in self._chains.values())
+
+    # -- persistence -------------------------------------------------------------
+
+    def state(self) -> dict:
+        """A JSON-serializable snapshot (used by Database.save)."""
+        return {
+            "next_object_id": self._next_object_id,
+            "last_timestamp": self._last_timestamp,
+            "chains": [
+                {
+                    "object_id": chain.object_id,
+                    "versions": [
+                        {
+                            "from": v.valid_from,
+                            "to": None if v.valid_to == _FOREVER else v.valid_to,
+                            "tid": None if v.root_tid is None
+                            else [v.root_tid.page, v.root_tid.slot],
+                        }
+                        for v in chain.versions
+                    ],
+                }
+                for chain in self._chains.values()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "VersionStore":
+        store = cls()
+        store._next_object_id = state["next_object_id"]
+        store._last_timestamp = state["last_timestamp"]
+        for chain_state in state["chains"]:
+            chain = VersionChain(chain_state["object_id"])
+            for v in chain_state["versions"]:
+                chain.versions.append(
+                    Version(
+                        valid_from=v["from"],
+                        valid_to=_FOREVER if v["to"] is None else v["to"],
+                        root_tid=None if v["tid"] is None else TID(*v["tid"]),
+                    )
+                )
+            store._chains[chain.object_id] = chain
+        return store

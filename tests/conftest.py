@@ -1,0 +1,30 @@
+"""Shared fixtures: databases loaded with the paper's tables."""
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+
+
+def load_paper_tables(db: Database) -> None:
+    """Create and populate Tables 1-8 (both the NF2 and the 1NF views)."""
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+    db.create_table(paper.REPORTS_SCHEMA)
+    db.insert_many("REPORTS", paper.REPORTS_ROWS)
+    for schema, value in [
+        (paper.DEPARTMENTS_1NF_SCHEMA, paper.departments_1nf()),
+        (paper.PROJECTS_1NF_SCHEMA, paper.projects_1nf()),
+        (paper.MEMBERS_1NF_SCHEMA, paper.members_1nf()),
+        (paper.EQUIP_1NF_SCHEMA, paper.equip_1nf()),
+        (paper.EMPLOYEES_1NF_SCHEMA, paper.employees_1nf()),
+    ]:
+        db.create_table(schema)
+        db.insert_many(schema.name, (row.to_plain() for row in value))
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    db = Database()
+    load_paper_tables(db)
+    return db

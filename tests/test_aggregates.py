@@ -1,0 +1,126 @@
+"""Tests for aggregate functions over subtables (COUNT/SUM/AVG/MIN/MAX
+with flattening across nesting levels)."""
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.errors import BindError
+
+
+def test_count_subtable(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO, COUNT(x.PROJECTS) AS N FROM x IN DEPARTMENTS "
+        "ORDER BY x.DNO"
+    )
+    assert [(r["DNO"], r["N"]) for r in result] == [(218, 1), (314, 2), (417, 1)]
+
+
+def test_count_flattens_two_levels(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO, COUNT(x.PROJECTS.MEMBERS) AS STAFF "
+        "FROM x IN DEPARTMENTS ORDER BY x.DNO"
+    )
+    assert [(r["DNO"], r["STAFF"]) for r in result] == [
+        (218, 6), (314, 7), (417, 4),
+    ]
+
+
+def test_sum_over_subtable_attribute(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO, SUM(x.EQUIP.QU) AS UNITS FROM x IN DEPARTMENTS "
+        "WHERE x.DNO = 314"
+    )
+    assert result[0]["UNITS"] == 6  # 2 + 3 + 1
+
+
+def test_min_max_over_deep_path(paper_db):
+    result = paper_db.query(
+        "SELECT MIN(x.PROJECTS.MEMBERS.EMPNO) AS LO, "
+        "       MAX(x.PROJECTS.MEMBERS.EMPNO) AS HI "
+        "FROM x IN DEPARTMENTS WHERE x.DNO = 314"
+    )
+    assert result[0]["LO"] == 39582
+    assert result[0]["HI"] == 98902
+
+
+def test_avg_returns_float(paper_db):
+    result = paper_db.query(
+        "SELECT AVG(x.BUDGET) AS A FROM x IN DEPARTMENTS, y IN DEPARTMENTS "
+        "WHERE x.DNO = y.DNO AND x.DNO = 314"
+    )
+    assert result[0]["A"] == pytest.approx(320_000.0)
+    assert result.schema.attribute("A").atomic_type.value == "FLOAT"
+
+
+def test_aggregate_in_where(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE COUNT(x.PROJECTS) >= 2"
+    )
+    assert result.column("DNO") == [314]
+
+
+def test_aggregate_in_order_by(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "ORDER BY COUNT(x.PROJECTS.MEMBERS) DESC"
+    )
+    assert result.column("DNO") == [314, 218, 417]
+
+
+def test_count_over_subquery(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO, "
+        "N = COUNT((SELECT z.EMPNO FROM y IN x.PROJECTS, z IN y.MEMBERS "
+        "           WHERE z.FUNCTION = 'Consultant')) "
+        "FROM x IN DEPARTMENTS ORDER BY x.DNO"
+    )
+    assert [(r["DNO"], r["N"]) for r in result] == [(218, 2), (314, 1), (417, 0)]
+
+
+def test_aggregates_ignore_nulls():
+    db = Database()
+    db.execute("CREATE TABLE T (K INT, S TABLE OF (V INT))")
+    db.insert("T", {"K": 1, "S": [{"V": 1}, {"V": None}, {"V": 3}]})
+    db.insert("T", {"K": 2, "S": []})
+    result = db.query(
+        "SELECT t.K, SUM(t.S.V) AS TOTAL, COUNT(t.S.V) AS N, "
+        "AVG(t.S.V) AS MEAN FROM t IN T ORDER BY t.K"
+    )
+    first, second = result.rows
+    assert (first["TOTAL"], first["N"], first["MEAN"]) == (4, 2, 2.0)
+    # empty subtable: COUNT 0, the others NULL
+    assert (second["TOTAL"], second["N"], second["MEAN"]) == (None, 0, None)
+
+
+def test_count_vs_count_values():
+    """COUNT of a table counts tuples; COUNT of an attribute path counts
+    non-null values."""
+    db = Database()
+    db.execute("CREATE TABLE T (K INT, S TABLE OF (V INT))")
+    db.insert("T", {"K": 1, "S": [{"V": None}, {"V": 5}]})
+    result = db.query(
+        "SELECT COUNT(t.S) AS TUPLES, COUNT(t.S.V) AS VALUES_ FROM t IN T"
+    )
+    assert result[0]["TUPLES"] == 2
+    assert result[0]["VALUES_"] == 1
+
+
+def test_sum_non_numeric_rejected(paper_db):
+    with pytest.raises(BindError):
+        paper_db.query("SELECT SUM(x.EQUIP.TYPE) FROM x IN DEPARTMENTS")
+
+
+def test_sum_whole_table_rejected(paper_db):
+    with pytest.raises(BindError):
+        paper_db.query("SELECT SUM(x.EQUIP) FROM x IN DEPARTMENTS")
+
+
+def test_aggregate_is_not_a_table(paper_db):
+    """Aggregate names only act as functions when followed by '('."""
+    db = Database()
+    db.execute("CREATE TABLE COUNTS (COUNT INT)")  # COUNT as attribute name
+    db.insert("COUNTS", (7,))
+    result = db.query("SELECT c.COUNT FROM c IN COUNTS")
+    assert result.column("COUNT") == [7]

@@ -1,0 +1,216 @@
+"""Unit + property tests for the NF2 algebra (nest/unnest/project/join)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import nest, unnest, project, select_rows, natural_join
+from repro.datasets import paper
+from repro.errors import DataError, SchemaError
+from repro.model.schema import atomic, list_of, table
+from repro.model.values import TableValue
+
+
+def test_unnest_departments_projects():
+    departments = paper.departments()
+    flat = unnest(departments, "PROJECTS")
+    assert flat.schema.attribute_names == (
+        "DNO", "MGRNO", "PNO", "PNAME", "MEMBERS", "BUDGET", "EQUIP",
+    )
+    assert len(flat) == 4  # 4 projects altogether
+
+
+def test_double_unnest_gives_table7_shape():
+    departments = paper.departments()
+    flat = unnest(unnest(departments, "PROJECTS"), "MEMBERS")
+    projected = project(
+        flat, ["DNO", "MGRNO", "PNO", "PNAME", "EMPNO", "FUNCTION"], name="RESULT"
+    )
+    assert len(projected) == 17  # every member of every project
+    assert projected.schema.is_flat
+
+
+def test_unnest_atomic_attribute_rejected():
+    with pytest.raises(SchemaError):
+        unnest(paper.departments(), "DNO")
+
+
+def test_unnest_name_clash_rejected():
+    inner = table("S", atomic("A", "INT"))
+    from repro.model.schema import nested
+
+    outer = table("T", atomic("A", "INT"), nested("S", inner))
+    value = TableValue.from_plain(outer, [{"A": 1, "S": [{"A": 2}]}])
+    with pytest.raises(SchemaError):
+        unnest(value, "S")
+
+
+def test_unnest_drops_tuples_with_empty_subtable():
+    schema = paper.DEPARTMENTS_SCHEMA
+    rows = [dict(paper.DEPARTMENTS_ROWS[0])]
+    rows[0] = dict(rows[0], PROJECTS=[])
+    value = TableValue.from_plain(schema, rows)
+    assert len(unnest(value, "PROJECTS")) == 0
+
+
+def test_nest_members_groups_correctly():
+    members = paper.members_1nf()
+    nested_value = nest(members, ["EMPNO", "FUNCTION"], "MEMBERS")
+    # one group per (PNO, DNO) pair
+    assert len(nested_value) == 4
+    group_314_17 = [
+        row for row in nested_value if row["DNO"] == 314 and row["PNO"] == 17
+    ]
+    assert len(group_314_17) == 1
+    assert len(group_314_17[0]["MEMBERS"]) == 3
+
+
+def test_nest_rejects_empty_or_total_grouping():
+    members = paper.members_1nf()
+    with pytest.raises(SchemaError):
+        nest(members, [], "X")
+    with pytest.raises(SchemaError):
+        nest(members, list(members.schema.attribute_names), "X")
+
+
+def test_nest_then_unnest_is_identity_on_paper_data():
+    members = paper.members_1nf()
+    again = unnest(nest(members, ["EMPNO", "FUNCTION"], "MEMBERS"), "MEMBERS")
+    assert project(again, ["EMPNO", "PNO", "DNO", "FUNCTION"]) == members
+
+
+def test_project_removes_duplicates_on_relations():
+    members = paper.members_1nf()
+    functions = project(members, ["FUNCTION"])
+    assert sorted(functions.column("FUNCTION")) == [
+        "Consultant", "Leader", "Secretary", "Staff",
+    ]
+
+
+def test_project_keeps_duplicates_on_lists():
+    schema = list_of("L", atomic("A", "INT"), atomic("B", "INT"))
+    value = TableValue.from_plain(schema, [(1, 1), (1, 2)])
+    assert len(project(value, ["A"])) == 2
+
+
+def test_select_rows():
+    equip = paper.equip_1nf()
+    pcs = select_rows(equip, lambda row: row["TYPE"] == "PC/AT")
+    assert sorted(pcs.column("DNO")) == [218, 314, 417]
+
+
+def test_natural_join_members_employees():
+    joined = natural_join(paper.members_1nf(), paper.employees_1nf())
+    assert len(joined) == 17
+    assert "LNAME" in joined.schema.attribute_names
+
+
+def test_join_with_explicit_pairs():
+    joined = natural_join(
+        paper.departments_1nf(),
+        paper.employees_1nf(),
+        on=[("MGRNO", "EMPNO")],
+        name="MGRS",
+    )
+    assert len(joined) == 3
+    assert "LNAME" in joined.schema.attribute_names
+
+
+def test_join_without_shared_attributes_rejected():
+    with pytest.raises(SchemaError):
+        natural_join(paper.equip_1nf().__class__(paper.EQUIP_SCHEMA), _unrelated())
+
+
+def _unrelated():
+    schema = table("U", atomic("ZZZ", "INT"))
+    return TableValue.from_plain(schema, [(1,)])
+
+
+def test_join_on_table_valued_attribute_rejected():
+    with pytest.raises(DataError):
+        natural_join(
+            paper.departments(), paper.departments(), on=[("PROJECTS", "PROJECTS")]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+_FLAT = table(
+    "R", atomic("K", "INT"), atomic("G", "INT"), atomic("V", "STRING")
+)
+
+_rows = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 3),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    max_size=20,
+    unique=True,
+)
+
+
+@given(_rows)
+@settings(max_examples=60)
+def test_property_unnest_of_nest_is_identity(rows):
+    """unnest(nest(R)) == R for any 1NF relation R (Jaeschke/Schek)."""
+    value = TableValue.from_plain(_FLAT, rows)
+    nested_value = nest(value, ["G", "V"], "SUB")
+    flattened = unnest(nested_value, "SUB")
+    assert project(flattened, ["K", "G", "V"]) == value
+
+
+@given(_rows)
+@settings(max_examples=60)
+def test_property_nest_partitions_rows(rows):
+    value = TableValue.from_plain(_FLAT, rows)
+    nested_value = nest(value, ["G", "V"], "SUB")
+    # group keys are unique
+    keys = [row["K"] for row in nested_value]
+    assert len(keys) == len(set(keys))
+    # total inner cardinality is preserved
+    assert sum(len(row["SUB"]) for row in nested_value) == len(rows)
+
+
+@given(_rows)
+@settings(max_examples=60)
+def test_property_project_is_idempotent(rows):
+    value = TableValue.from_plain(_FLAT, rows)
+    once = project(value, ["K", "G"])
+    twice = project(once, ["K", "G"])
+    assert once == twice
+
+
+def test_outer_unnest_preserves_empty_subtables():
+    from repro.algebra.ops import outer_unnest
+
+    schema = paper.DEPARTMENTS_SCHEMA
+    rows = [dict(paper.DEPARTMENTS_ROWS[0]),
+            dict(paper.DEPARTMENTS_ROWS[1], PROJECTS=[])]
+    value = TableValue.from_plain(schema, rows)
+    classical = unnest(value, "PROJECTS")
+    outer = outer_unnest(value, "PROJECTS")
+    # classical unnest loses department 218; outer unnest keeps it padded
+    assert 218 not in classical.column("DNO")
+    assert 218 in outer.column("DNO")
+    padded = [r for r in outer if r["DNO"] == 218][0]
+    assert padded["PNO"] is None and padded["PNAME"] is None
+    assert len(padded["MEMBERS"]) == 0  # nested pad: empty subtable
+    # rows with data match the classical unnest
+    assert len(outer) == len(classical) + 1
+
+
+def test_outer_unnest_equals_unnest_when_nonempty():
+    from repro.algebra.ops import outer_unnest
+
+    departments = paper.departments()
+    assert outer_unnest(departments, "EQUIP") == unnest(departments, "EQUIP")
+
+
+def test_outer_unnest_rejects_atomic():
+    from repro.algebra.ops import outer_unnest
+
+    with pytest.raises(SchemaError):
+        outer_unnest(paper.departments(), "DNO")

@@ -1,0 +1,165 @@
+"""Unit tests for the binder: scoping, typing, result-schema inference."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.model.types import AtomicType
+from repro.query.binder import Binder, Scope
+from repro.query.parser import parse_query
+from repro.datasets import paper
+
+
+class _Provider:
+    """A minimal SchemaProvider over the paper's schemas."""
+
+    _TABLES = {
+        "DEPARTMENTS": paper.DEPARTMENTS_SCHEMA,
+        "REPORTS": paper.REPORTS_SCHEMA,
+        "EMPLOYEES-1NF": paper.EMPLOYEES_1NF_SCHEMA,
+    }
+    _VERSIONED = {"DEPARTMENTS"}
+
+    def table_schema(self, name):
+        from repro.errors import UnknownTableError
+
+        if name not in self._TABLES:
+            raise UnknownTableError(name)
+        return self._TABLES[name]
+
+    def is_versioned(self, name):
+        return name in self._VERSIONED
+
+
+def bind(sql):
+    return Binder(_Provider()).bind_query(parse_query(sql))
+
+
+def test_result_schema_flat():
+    schema = bind("SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS")
+    assert schema.attribute_names == ("DNO", "BUDGET")
+    assert schema.is_flat and not schema.ordered
+
+
+def test_result_schema_nested_subquery():
+    schema = bind(
+        "SELECT x.DNO, P = (SELECT y.PNO FROM y IN x.PROJECTS) "
+        "FROM x IN DEPARTMENTS"
+    )
+    attr = schema.attribute("P")
+    assert attr.is_table
+    assert attr.table.attribute_names == ("PNO",)
+
+
+def test_result_carries_table_attribute():
+    schema = bind("SELECT x.AUTHORS FROM x IN REPORTS")
+    assert schema.attribute("AUTHORS").table.ordered
+
+
+def test_ordered_result_from_ordered_source():
+    schema = bind(
+        "SELECT y.NAME FROM x IN REPORTS, y IN x.AUTHORS"
+    )
+    # two ranges: result unordered despite the list source
+    assert not schema.ordered
+    schema = bind("SELECT x.REPNO FROM x IN REPORTS ORDER BY x.REPNO")
+    assert schema.ordered
+
+
+def test_variable_shadowing_rejected():
+    with pytest.raises(BindError):
+        bind("SELECT x.DNO FROM x IN DEPARTMENTS, x IN DEPARTMENTS")
+
+
+def test_quantifier_introduces_inner_scope():
+    # y is visible only inside the quantifier body
+    bind(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS: y.PNO = 1"
+    )
+    with pytest.raises(BindError):
+        bind(
+            "SELECT y.PNO FROM x IN DEPARTMENTS "
+            "WHERE EXISTS y IN x.PROJECTS: y.PNO = 1"
+        )
+
+
+def test_quantifier_may_range_over_stored_table():
+    bind(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS e IN EMPLOYEES-1NF: e.EMPNO = x.MGRNO"
+    )
+
+
+def test_range_variable_cannot_be_source():
+    with pytest.raises(BindError):
+        bind("SELECT y.DNO FROM x IN DEPARTMENTS, y IN x")
+
+
+def test_subscript_type_propagates():
+    schema = bind("SELECT x.AUTHORS[1].NAME AS FIRST FROM x IN REPORTS")
+    assert schema.attribute("FIRST").atomic_type is AtomicType.STRING
+
+
+def test_single_attribute_row_unwraps_in_select():
+    schema = bind("SELECT x.AUTHORS[1] AS FIRST FROM x IN REPORTS")
+    assert schema.attribute("FIRST").atomic_type is AtomicType.STRING
+
+
+def test_multi_attribute_row_in_select_rejected():
+    with pytest.raises(BindError):
+        bind(
+            "SELECT y.DESCRIPTORS[1] FROM y IN REPORTS"
+        )  # DESCRIPTORS unordered -> also a subscript error; check message path
+
+
+def test_asof_requires_versioned():
+    bind("SELECT x.DNO FROM x IN DEPARTMENTS ASOF '1984-01-15'")
+    with pytest.raises(BindError):
+        bind("SELECT x.REPNO FROM x IN REPORTS ASOF '1984-01-15'")
+
+
+def test_asof_on_path_rejected():
+    with pytest.raises(BindError):
+        bind(
+            "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS ASOF '1984-01-15'"
+        )
+
+
+def test_contains_needs_string():
+    with pytest.raises(BindError):
+        bind("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO CONTAINS '*1*'")
+
+
+def test_comparison_type_mismatch():
+    with pytest.raises(BindError):
+        bind("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO = x.PROJECTS")
+    with pytest.raises(BindError):
+        bind("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.BUDGET = TRUE")
+
+
+def test_null_literal_compares_with_anything():
+    bind("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO = NULL")
+    bind("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.MGRNO <> NULL")
+
+
+def test_aggregate_binding():
+    schema = bind(
+        "SELECT COUNT(x.PROJECTS) AS N, SUM(x.EQUIP.QU) AS Q, "
+        "AVG(x.EQUIP.QU) AS A, MAX(x.BUDGET) AS M "
+        "FROM x IN DEPARTMENTS"
+    )
+    assert schema.attribute("N").atomic_type is AtomicType.INT
+    assert schema.attribute("Q").atomic_type is AtomicType.INT
+    assert schema.attribute("A").atomic_type is AtomicType.FLOAT
+    assert schema.attribute("M").atomic_type is AtomicType.INT
+
+
+def test_scope_helper():
+    scope = Scope()
+    scope.define("x", paper.DEPARTMENTS_SCHEMA)
+    child = scope.child()
+    child.define("y", paper.REPORTS_SCHEMA)
+    assert child.lookup("x") is paper.DEPARTMENTS_SCHEMA
+    assert scope.lookup("y") is None
+    with pytest.raises(BindError):
+        child.define("x", paper.REPORTS_SCHEMA)

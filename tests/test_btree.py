@@ -1,0 +1,108 @@
+"""Unit + property tests for the B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AccessPathError
+from repro.index.btree import BPlusTree
+
+
+def test_insert_and_search():
+    tree = BPlusTree(order=4)
+    tree.insert("b", 2)
+    tree.insert("a", 1)
+    tree.insert("c", 3)
+    assert tree.search("a") == [1]
+    assert tree.search("missing") == []
+    assert len(tree) == 3
+
+
+def test_posting_lists_accumulate():
+    tree = BPlusTree(order=4)
+    tree.insert("Consultant", "t1")
+    tree.insert("Consultant", "t2")
+    tree.insert("Consultant", "t3")
+    assert tree.search("Consultant") == ["t1", "t2", "t3"]
+    assert len(tree) == 1
+
+
+def test_remove():
+    tree = BPlusTree(order=4)
+    tree.insert("k", 1)
+    tree.insert("k", 2)
+    assert tree.remove("k", 1)
+    assert tree.search("k") == [2]
+    assert tree.remove("k", 2)
+    assert tree.search("k") == []
+    assert len(tree) == 0
+    assert not tree.remove("k", 3)
+    assert not tree.remove("absent", 1)
+
+
+def test_range_scan():
+    tree = BPlusTree(order=4)
+    for key in [5, 1, 9, 3, 7, 2, 8, 4, 6, 0]:
+        tree.insert(key, f"v{key}")
+    keys = [k for k, _ in tree.range(3, 7)]
+    assert keys == [3, 4, 5, 6, 7]
+    keys = [k for k, _ in tree.range(3, 7, include_low=False, include_high=False)]
+    assert keys == [4, 5, 6]
+    keys = [k for k, _ in tree.range(high=2)]
+    assert keys == [0, 1, 2]
+    keys = [k for k, _ in tree.range(low=8)]
+    assert keys == [8, 9]
+
+
+def test_items_sorted_after_many_inserts():
+    tree = BPlusTree(order=4)
+    values = list(range(500))
+    random.Random(3).shuffle(values)
+    for v in values:
+        tree.insert(v, v)
+    assert [k for k, _ in tree.items()] == list(range(500))
+    tree.validate()
+
+
+def test_contains():
+    tree = BPlusTree(order=4)
+    tree.insert("x", 1)
+    assert "x" in tree
+    assert "y" not in tree
+
+
+def test_order_too_small_rejected():
+    with pytest.raises(AccessPathError):
+        BPlusTree(order=2)
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(0, 50), st.integers(0, 5)),
+        max_size=200,
+    ),
+    st.sampled_from([4, 5, 8, 32]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_btree_model_conformance(operations, order):
+    """The tree behaves like dict[key, list] under random insert/remove."""
+    tree = BPlusTree(order=order)
+    model: dict[int, list[int]] = {}
+    for is_insert, key, value in operations:
+        if is_insert:
+            tree.insert(key, value)
+            model.setdefault(key, []).append(value)
+        else:
+            removed = tree.remove(key, value)
+            expected = key in model and value in model[key]
+            assert removed == expected
+            if expected:
+                model[key].remove(value)
+                if not model[key]:
+                    del model[key]
+    for key, values in model.items():
+        assert sorted(tree.search(key)) == sorted(values)
+    assert [k for k, _ in tree.items()] == sorted(model)
+    tree.validate()

@@ -1,0 +1,105 @@
+"""Tests for the paper dataset and the synthetic generators."""
+
+from repro.datasets import DepartmentsGenerator, ReportsGenerator, paper
+from repro.model.values import TableValue
+
+
+def test_departments_has_three_objects():
+    departments = paper.departments()
+    assert sorted(departments.column("DNO")) == [218, 314, 417]
+
+
+def test_paper_facts_hold():
+    """The facts the paper's running text states about its data."""
+    departments = paper.departments()
+    by_dno = {row["DNO"]: row for row in departments}
+    # data subtuple '314 56194 320,000'
+    assert by_dno[314].atomic_values() == (314, 56194, 320_000)
+    # project 17 'CGA' with members 39582/56019/69011
+    project17 = by_dno[314]["PROJECTS"][0]
+    assert (project17["PNO"], project17["PNAME"]) == (17, "CGA")
+    assert project17["MEMBERS"].column("EMPNO") == [39582, 56019, 69011]
+    # exactly three consultants: 56019, 89921, 44512
+    consultants = [
+        member["EMPNO"]
+        for dept in departments
+        for project in dept["PROJECTS"]
+        for member in project["MEMBERS"]
+        if member["FUNCTION"] == "Consultant"
+    ]
+    assert sorted(consultants) == [44512, 56019, 89921]
+    # dept 314 equipment: 2x3278, 3xPC/AT, 1xPC
+    equip = {(row["QU"], row["TYPE"]) for row in by_dno[314]["EQUIP"]}
+    assert equip == {(2, "3278"), (3, "PC/AT"), (1, "PC")}
+
+
+def test_flat_tables_are_consistent_with_table5():
+    assert len(paper.departments_1nf()) == 3
+    assert len(paper.projects_1nf()) == 4
+    assert len(paper.members_1nf()) == 17
+    assert len(paper.equip_1nf()) == 14
+
+
+def test_employees_covers_members_and_managers():
+    employees = {row["EMPNO"] for row in paper.employees_1nf()}
+    departments = paper.departments()
+    for dept in departments:
+        assert dept["MGRNO"] in employees
+        for project in dept["PROJECTS"]:
+            for member in project["MEMBERS"]:
+                assert member["EMPNO"] in employees
+
+
+def test_reports_jones_is_first_author_of_0179():
+    reports = paper.reports()
+    report = next(row for row in reports if row["REPNO"] == "0179")
+    assert report["AUTHORS"][0]["NAME"] == "Jones A"
+
+
+def test_generator_is_deterministic():
+    a = DepartmentsGenerator(departments=5, seed=1).rows()
+    b = DepartmentsGenerator(departments=5, seed=1).rows()
+    assert a == b
+    c = DepartmentsGenerator(departments=5, seed=2).rows()
+    assert a != c
+
+
+def test_generator_shape():
+    gen = DepartmentsGenerator(
+        departments=4, projects_per_department=2, members_per_project=3,
+        equipment_per_department=5,
+    )
+    value = gen.table()
+    assert isinstance(value, TableValue)
+    assert len(value) == 4
+    for dept in value:
+        assert len(dept["PROJECTS"]) == 2
+        assert len(dept["EQUIP"]) == 5
+        for project in dept["PROJECTS"]:
+            assert len(project["MEMBERS"]) == 3
+            assert project["MEMBERS"][0]["FUNCTION"] == "Leader"
+
+
+def test_generator_flat_decomposition_counts():
+    gen = DepartmentsGenerator(departments=3, projects_per_department=2,
+                               members_per_project=4)
+    flat = gen.flat_rows()
+    assert len(flat["DEPARTMENTS-1NF"]) == 3
+    assert len(flat["PROJECTS-1NF"]) == 6
+    assert len(flat["MEMBERS-1NF"]) == 24
+
+
+def test_generator_employees_cover_all():
+    gen = DepartmentsGenerator(departments=3)
+    empnos = {row[0] for row in gen.employees_rows()}
+    for dept in gen.rows():
+        assert dept["MGRNO"] in empnos
+
+
+def test_reports_generator():
+    gen = ReportsGenerator(reports=10, seed=3)
+    value = gen.table()
+    assert len(value) == 10
+    for report in value:
+        assert 1 <= len(report["AUTHORS"]) <= 4
+        assert report["AUTHORS"].ordered

@@ -1,0 +1,71 @@
+"""Tests for the CREATE TABLE / CREATE LIST DDL parser."""
+
+import pytest
+
+from repro.errors import DDLError
+from repro.model.ddl import parse_create_table, schema_to_ddl
+from repro.datasets import paper
+
+DEPARTMENTS_DDL = """
+CREATE TABLE DEPARTMENTS (
+    DNO INT,
+    MGRNO INT,
+    PROJECTS TABLE OF (
+        PNO INT,
+        PNAME STRING,
+        MEMBERS TABLE OF (EMPNO INT, FUNCTION STRING)
+    ),
+    BUDGET INT,
+    EQUIP TABLE OF (QU INT, TYPE STRING)
+)
+"""
+
+
+def test_parse_departments_matches_paper_schema():
+    schema = parse_create_table(DEPARTMENTS_DDL)
+    assert schema == paper.DEPARTMENTS_SCHEMA
+
+
+def test_parse_reports_with_nested_list():
+    schema = parse_create_table(
+        "CREATE TABLE REPORTS (REPNO STRING, "
+        "AUTHORS LIST OF (NAME STRING), TITLE STRING, "
+        "DESCRIPTORS TABLE OF (KEYWORD STRING, WEIGHT FLOAT))"
+    )
+    assert schema == paper.REPORTS_SCHEMA
+
+
+def test_create_list_is_ordered():
+    schema = parse_create_table("CREATE LIST QUEUE (ITEM STRING)")
+    assert schema.ordered
+
+
+def test_keywords_case_insensitive():
+    schema = parse_create_table("create table t (a int, b table of (c string))")
+    assert schema.attribute("b").is_table
+
+
+def test_ddl_round_trip():
+    for schema in (paper.DEPARTMENTS_SCHEMA, paper.REPORTS_SCHEMA,
+                   paper.MEMBERS_1NF_SCHEMA):
+        assert parse_create_table(schema_to_ddl(schema)) == schema
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "CREATE TABLE",                            # no name
+        "CREATE TABLE T",                          # no attributes
+        "CREATE TABLE T ()",                       # empty attribute list
+        "CREATE TABLE T (A INT",                   # unbalanced paren
+        "CREATE TABLE T (A BLOB)",                 # unknown type
+        "CREATE TABLE T (A INT) extra",            # trailing tokens
+        "CREATE TABLE T (A TABLE (B INT))",        # missing OF
+        "MAKE TABLE T (A INT)",                    # wrong verb
+        "CREATE TABLE T (A INT,, B INT)",          # stray comma
+        "CREATE TABLE T (A INT) ; DROP",           # bad character
+    ],
+)
+def test_invalid_ddl_rejected(text):
+    with pytest.raises(DDLError):
+        parse_create_table(text)

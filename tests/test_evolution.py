@@ -1,0 +1,194 @@
+"""Tests for schema evolution (ALTER TABLE) and walk-through-time access."""
+
+import datetime
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.errors import ExecutionError, SchemaError, TemporalError
+from repro.model import evolution
+from repro.model.schema import atomic
+
+
+# -- schema-level transformations ---------------------------------------------
+
+
+def test_add_attribute_top_level():
+    schema = evolution.add_attribute(
+        paper.DEPARTMENTS_SCHEMA, (), atomic("LOCATION", "STRING")
+    )
+    assert schema.attribute("LOCATION").is_atomic
+    assert schema.attribute_names[-1] == "LOCATION"
+
+
+def test_add_attribute_nested():
+    schema = evolution.add_attribute(
+        paper.DEPARTMENTS_SCHEMA, ("PROJECTS",), atomic("PRIORITY", "INT")
+    )
+    inner = schema.attribute("PROJECTS").table
+    assert inner.has_attribute("PRIORITY")
+    # deeper levels untouched
+    assert inner.attribute("MEMBERS").table.attribute_names == ("EMPNO", "FUNCTION")
+
+
+def test_add_duplicate_rejected():
+    with pytest.raises(SchemaError):
+        evolution.add_attribute(paper.DEPARTMENTS_SCHEMA, (), atomic("DNO", "INT"))
+
+
+def test_add_into_atomic_rejected():
+    with pytest.raises(SchemaError):
+        evolution.add_attribute(
+            paper.DEPARTMENTS_SCHEMA, ("DNO",), atomic("X", "INT")
+        )
+
+
+def test_drop_attribute_nested():
+    schema = evolution.drop_attribute(
+        paper.DEPARTMENTS_SCHEMA, ("PROJECTS", "MEMBERS", "FUNCTION")
+    )
+    members = schema.resolve_path(("PROJECTS", "MEMBERS"))
+    assert members.table.attribute_names == ("EMPNO",)
+
+
+def test_drop_last_attribute_rejected():
+    schema = paper.MEMBERS_SCHEMA
+    once = evolution.drop_attribute(schema, ("FUNCTION",))
+    with pytest.raises(SchemaError):
+        evolution.drop_attribute(once, ("EMPNO",))
+
+
+def test_rename_attribute():
+    schema = evolution.rename_attribute(
+        paper.DEPARTMENTS_SCHEMA, ("PROJECTS",), "EFFORTS"
+    )
+    assert schema.has_attribute("EFFORTS")
+    assert not schema.has_attribute("PROJECTS")
+    assert schema.attribute("EFFORTS").table.name == "EFFORTS"
+
+
+def test_rename_to_existing_rejected():
+    with pytest.raises(SchemaError):
+        evolution.rename_attribute(paper.DEPARTMENTS_SCHEMA, ("DNO",), "MGRNO")
+
+
+# -- value migration ----------------------------------------------------------
+
+
+def test_value_migration_roundtrip():
+    row = dict(paper.DEPARTMENTS_ROWS[0])
+    added = evolution.add_value(row, ("PROJECTS",), "PRIORITY", 1)
+    assert all(p["PRIORITY"] == 1 for p in added["PROJECTS"])
+    dropped = evolution.drop_value(added, ("PROJECTS", "PRIORITY"))
+    assert "PRIORITY" not in dropped["PROJECTS"][0]
+    renamed = evolution.rename_value(row, ("BUDGET",), "FUNDS")
+    assert renamed["FUNDS"] == 320_000
+
+
+# -- ALTER TABLE end-to-end ------------------------------------------------------
+
+
+def fresh_db():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+    return db
+
+
+def test_alter_add_top_level_with_query():
+    db = fresh_db()
+    db.execute("ALTER TABLE DEPARTMENTS ADD LOCATION STRING")
+    result = db.query("SELECT x.DNO, x.LOCATION FROM x IN DEPARTMENTS")
+    assert all(row["LOCATION"] is None for row in result)
+    db.execute("UPDATE DEPARTMENTS x SET LOCATION = 'HD' WHERE x.DNO = 314")
+    located = db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.LOCATION = 'HD'"
+    )
+    assert located.column("DNO") == [314]
+
+
+def test_alter_add_nested_attribute():
+    db = fresh_db()
+    db.execute("ALTER TABLE DEPARTMENTS ADD PROJECTS.PRIORITY INT")
+    result = db.query(
+        "SELECT y.PNO, y.PRIORITY FROM x IN DEPARTMENTS, y IN x.PROJECTS"
+    )
+    assert len(result) == 4
+    assert all(row["PRIORITY"] is None for row in result)
+    # old data survived the migration
+    assert sorted(result.column("PNO")) == [17, 23, 25, 37]
+
+
+def test_alter_drop_and_rename():
+    db = fresh_db()
+    db.execute("ALTER TABLE DEPARTMENTS DROP ATTRIBUTE EQUIP")
+    assert not db.table_schema("DEPARTMENTS").has_attribute("EQUIP")
+    assert len(db.query("SELECT * FROM x IN DEPARTMENTS")) == 3
+    db.execute("ALTER TABLE DEPARTMENTS RENAME ATTRIBUTE BUDGET TO FUNDS")
+    result = db.query("SELECT x.FUNDS FROM x IN DEPARTMENTS WHERE x.DNO = 314")
+    assert result.column("FUNDS") == [320_000]
+
+
+def test_alter_rejects_indexed_attribute():
+    db = fresh_db()
+    db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    with pytest.raises(ExecutionError):
+        db.execute("ALTER TABLE DEPARTMENTS DROP ATTRIBUTE PROJECTS")
+    with pytest.raises(ExecutionError):
+        db.execute(
+            "ALTER TABLE DEPARTMENTS RENAME ATTRIBUTE "
+            "PROJECTS.MEMBERS.FUNCTION TO ROLE"
+        )
+    # unrelated attribute is fine
+    db.execute("ALTER TABLE DEPARTMENTS RENAME ATTRIBUTE BUDGET TO FUNDS")
+    # and the index still answers queries after migration
+    result = db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+        "z.FUNCTION = 'Consultant'"
+    )
+    assert sorted(result.column("DNO")) == [218, 314]
+
+
+def test_alter_versioned_rejected():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True)
+    with pytest.raises(ExecutionError):
+        db.execute("ALTER TABLE DEPARTMENTS ADD LOCATION STRING")
+
+
+# -- walk-through-time --------------------------------------------------------
+
+
+def versioned_db():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True)
+    tid = db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0], at=10)
+    tid = db.update("DEPARTMENTS", tid, {"BUDGET": 111}, at=20)
+    tid = db.update("DEPARTMENTS", tid, {"BUDGET": 222}, at=30)
+    return db, tid
+
+
+def test_history_returns_all_versions():
+    db, tid = versioned_db()
+    history = db.history("DEPARTMENTS", tid)
+    assert [v[2]["BUDGET"] for v in history] == [320_000, 111, 222]
+    assert [v[0] for v in history] == [10.0, 20.0, 30.0]
+    assert history[-1][1] == float("inf")
+
+
+def test_walk_through_time_interval():
+    db, tid = versioned_db()
+    window = db.walk_through_time("DEPARTMENTS", tid, 15, 25)
+    assert [v[2]["BUDGET"] for v in window] == [320_000, 111]
+    everything = db.walk_through_time("DEPARTMENTS", tid, 0, 1000)
+    assert len(everything) == 3
+    nothing = db.walk_through_time("DEPARTMENTS", tid, 1, 5)
+    assert nothing == []
+
+
+def test_history_on_unversioned_rejected():
+    db = fresh_db()
+    with pytest.raises(TemporalError):
+        db.history("DEPARTMENTS", db.tids("DEPARTMENTS")[0])

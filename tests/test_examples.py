@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs cleanly and prints what it
+promises."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    out = io.StringIO()
+    with redirect_stdout(out):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return out.getvalue()
+
+
+def test_quickstart():
+    text = run_example("quickstart.py")
+    assert "{ DEPARTMENTS }" in text
+    assert "Departments using a PC/AT: [218, 314, 417]" in text
+    assert "['FN']" in text
+
+
+def test_office_reports():
+    text = run_example("office_reports.py")
+    assert "Reports with 'Jones A' as FIRST author" in text
+    assert "@object/" in text  # a tuple name was printed
+    assert "Masked search '*comput*'" in text
+
+
+def test_cad_assembly():
+    text = run_example("cad_assembly.py")
+    assert "Partial read of one part" in text
+    assert "Checked out a workstation copy" in text
+    assert "Shipped" in text and "workstation database" in text
+
+
+def test_temporal_history():
+    text = run_example("temporal_history.py")
+    assert "ASOF 1984-01-15: [(17, 'CGA'), (23, 'HEAR')]" in text
+    assert "ASOF 1984-03-15: [(17, 'CGA'), (29, 'ROBO')]" in text
+
+
+def test_schema_evolution():
+    text = run_example("schema_evolution.py")
+    assert "Promoted 1 member" in text
+    assert "Renamed BUDGET to FUNDS" in text
+    assert "index (FN)" in text

@@ -1,0 +1,125 @@
+"""Execution-layer edge cases beyond the paper's examples."""
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.errors import ExecutionError
+
+
+def test_quantifier_over_stored_table(paper_db):
+    """EXISTS may range over a stored table (a semi-join)."""
+    result = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS e IN EMPLOYEES-1NF: "
+        "(e.EMPNO = x.MGRNO AND e.SEX = 'female')"
+    )
+    assert result.column("DNO") == [417]  # Richter manages 417
+
+
+def test_all_quantifier_with_disjunction(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE ALL v IN x.EQUIP: (v.QU = 1 OR v.QU = 2 OR v.QU = 3)"
+    )
+    assert sorted(result.column("DNO")) == [218, 314, 417]
+
+
+def test_cross_product_cardinality(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO, y.DNO AS OTHER FROM x IN DEPARTMENTS, y IN DEPARTMENTS"
+    )
+    assert len(result) == 9
+
+
+def test_negated_contains(paper_db):
+    result = paper_db.query(
+        "SELECT x.REPNO FROM x IN REPORTS "
+        "WHERE x.TITLE NOT CONTAINS '*concurrency*'"
+    )
+    assert sorted(result.column("REPNO")) == ["0189", "0291"]
+
+
+def test_contains_on_null_is_false():
+    db = Database()
+    db.execute("CREATE TABLE T (S STRING)")
+    db.insert("T", (None,))
+    assert len(db.query("SELECT t.S FROM t IN T WHERE t.S CONTAINS '*x*'")) == 0
+    assert len(db.query("SELECT t.S FROM t IN T WHERE t.S NOT CONTAINS '*x*'")) == 1
+
+
+def test_empty_table_queries():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    assert len(db.query("SELECT * FROM x IN DEPARTMENTS")) == 0
+    assert len(db.query(
+        "SELECT x.DNO, y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS"
+    )) == 0
+    agg = db.query("SELECT COUNT(x.DNO) AS N FROM x IN DEPARTMENTS, "
+                   "y IN DEPARTMENTS")
+    assert len(agg) == 0  # no bindings at all
+
+
+def test_nested_subquery_in_nested_subquery(paper_db):
+    """Three levels of result structure built by correlated subqueries."""
+    result = paper_db.query(
+        """
+        SELECT x.DNO,
+               P = (SELECT y.PNO,
+                           M = (SELECT z.EMPNO FROM z IN y.MEMBERS
+                                WHERE z.FUNCTION = 'Leader')
+                    FROM y IN x.PROJECTS)
+        FROM x IN DEPARTMENTS WHERE x.DNO = 314
+        """
+    )
+    projects = result[0]["P"]
+    leaders = {p["PNO"]: p["M"].column("EMPNO") for p in projects}
+    assert leaders == {17: [39582], 23: [90011]}
+
+
+def test_select_star_over_path_range(paper_db):
+    result = paper_db.query(
+        "SELECT * FROM y IN REPORTS"
+    )
+    assert len(result) == 3
+
+
+def test_where_referencing_multiple_ranges(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO, e.LNAME FROM x IN DEPARTMENTS, e IN EMPLOYEES-1NF "
+        "WHERE x.MGRNO = e.EMPNO AND x.BUDGET > 350000"
+    )
+    assert sorted((r["DNO"], r["LNAME"]) for r in result) == [
+        (218, "Neumann"), (417, "Richter"),
+    ]
+
+
+def test_order_by_date_column():
+    import datetime
+
+    db = Database()
+    db.execute("CREATE TABLE T (D DATE, K INT)")
+    db.insert("T", (datetime.date(1986, 5, 1), 1))
+    db.insert("T", (datetime.date(1984, 1, 15), 2))
+    db.insert("T", (None, 3))
+    result = db.query("SELECT t.K FROM t IN T ORDER BY t.D")
+    assert result.column("K") == [3, 2, 1]  # NULL first, then by date
+
+
+def test_list_result_preserves_duplicates():
+    db = Database()
+    db.execute("CREATE LIST L (V INT)")
+    db.insert_many("L", [(1,), (1,), (2,)])
+    result = db.query("SELECT x.V FROM x IN L")
+    assert result.ordered
+    assert result.column("V") == [1, 1, 2]
+    distinct = db.query("SELECT DISTINCT x.V FROM x IN L")
+    assert distinct.column("V") == [1, 2]
+
+
+def test_lazy_database_attribute():
+    import repro
+
+    assert repro.Database is not None
+    with pytest.raises(AttributeError):
+        repro.not_a_thing

@@ -1,0 +1,60 @@
+"""Tests for Database.explain."""
+
+import pytest
+
+from repro.errors import BindError
+
+
+def test_explain_full_scan(paper_db):
+    plan = paper_db.explain("SELECT x.DNO FROM x IN DEPARTMENTS")
+    assert "loop 1: x IN DEPARTMENTS" in plan
+    assert "full scan" in plan
+    assert "relation (DNO)" in plan
+
+
+def test_explain_index_access(paper_db):
+    paper_db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    plan = paper_db.explain(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+        "z.FUNCTION = 'Consultant'"
+    )
+    assert "index (FN)" in plan
+    assert "2 candidate object(s)" in plan
+
+
+def test_explain_prefix_join(paper_db):
+    paper_db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    paper_db.create_index("PN", "DEPARTMENTS", "PROJECTS.PNO")
+    plan = paper_db.explain(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS "
+        "(y.PNO = 17 AND EXISTS z IN y.MEMBERS z.FUNCTION = 'Consultant')"
+    )
+    assert "prefix joins on hierarchical addresses: 1" in plan
+
+
+def test_explain_or_prevents_index(paper_db):
+    paper_db.create_index("BUD", "DEPARTMENTS", "BUDGET")
+    plan = paper_db.explain(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE x.BUDGET = 1 OR x.BUDGET = 2"
+    )
+    assert "WHERE not index-coverable" in plan
+
+
+def test_explain_multiple_loops_and_ordered_result(paper_db):
+    plan = paper_db.explain(
+        "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS ORDER BY y.PNO"
+    )
+    assert "loop 2: y IN x.PROJECTS" in plan
+    assert "list (PNO)" in plan
+
+
+def test_explain_validates(paper_db):
+    with pytest.raises(BindError):
+        paper_db.explain("SELECT x.NOPE FROM x IN DEPARTMENTS")
+
+
+def test_explain_non_query(paper_db):
+    assert "DeleteStatement" in paper_db.explain("DELETE FROM DEPARTMENTS")

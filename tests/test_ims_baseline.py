@@ -1,0 +1,135 @@
+"""Tests for the IMS-like navigational baseline (Fig 1's world)."""
+
+import pytest
+
+from repro.baselines.ims import DEPARTMENTS_HIERARCHY, IMSDatabase
+from repro.datasets import paper
+from repro.errors import ExecutionError
+
+
+def ims_rows():
+    """The paper's departments reshaped into segment-type keyed dicts."""
+    out = []
+    for dept in paper.DEPARTMENTS_ROWS:
+        out.append(
+            {
+                "DNO": dept["DNO"],
+                "MGRNO": dept["MGRNO"],
+                "BUDGET": dept["BUDGET"],
+                "PROJECT": [
+                    {
+                        "PNO": p["PNO"],
+                        "PNAME": p["PNAME"],
+                        "MEMBER": [
+                            {"EMPNO": m["EMPNO"], "FUNCTION": m["FUNCTION"]}
+                            for m in p["MEMBERS"]
+                        ],
+                    }
+                    for p in dept["PROJECTS"]
+                ],
+                "EQUIPMENT": [
+                    {"QU": e["QU"], "TYPE": e["TYPE"]} for e in dept["EQUIP"]
+                ],
+            }
+        )
+    return out
+
+
+def loaded():
+    db = IMSDatabase()
+    db.load(ims_rows())
+    return db
+
+
+def test_hierarchy_definition():
+    assert DEPARTMENTS_HIERARCHY.find("MEMBER").fields == ("EMPNO", "FUNCTION")
+    assert DEPARTMENTS_HIERARCHY.find("NOPE") is None
+
+
+def test_load_hierarchic_sequence_size():
+    db = loaded()
+    # 3 departments + 4 projects + 17 members + 14 equipment = 38 records
+    assert db.size == 38
+
+
+def test_gu_positions_at_first_match():
+    db = loaded()
+    record = db.gu("DEPARTMENT", {"DNO": 314})
+    assert record is not None
+    assert record.values["MGRNO"] == 56194
+
+
+def test_gn_walks_hierarchic_sequence():
+    db = loaded()
+    db.reset()
+    names = []
+    record = db.gn("PROJECT")
+    while record is not None:
+        names.append(record.values["PNAME"])
+        record = db.gn("PROJECT")
+    assert names == ["CGA", "HEAR", "TEXT", "NEBS"]
+
+
+def test_gnp_stays_within_parent():
+    db = loaded()
+    db.gu("DEPARTMENT", {"DNO": 314})
+    db.set_parentage()
+    members = []
+    record = db.gnp("MEMBER")
+    while record is not None:
+        members.append(record.values["EMPNO"])
+        record = db.gnp("MEMBER")
+    # dept 314's seven members, and none of dept 218's
+    assert members == [39582, 56019, 69011, 58912, 90011, 78218, 98902]
+
+
+def test_gnp_within_project_parentage():
+    db = loaded()
+    db.gu("PROJECT", {"PNO": 23})
+    db.set_parentage()
+    members = []
+    record = db.gnp("MEMBER")
+    while record is not None:
+        members.append(record.values["EMPNO"])
+        record = db.gnp("MEMBER")
+    assert members == [58912, 90011, 78218, 98902]
+
+
+def test_gnp_without_parentage_raises():
+    db = loaded()
+    db.reset()
+    with pytest.raises(ExecutionError):
+        db.gnp("MEMBER")
+
+
+def test_navigational_consultant_program():
+    """The §4.2 'departments with a consultant' query, the IMS way — a
+    whole program instead of one statement."""
+    db = loaded()
+    db.reset()
+    answers = []
+    department = db.gn("DEPARTMENT")
+    while department is not None:
+        dno = department.values["DNO"]
+        db.set_parentage()
+        found = False
+        member = db.gnp("MEMBER", {"FUNCTION": "Consultant"})
+        if member is not None:
+            found = True
+        if found:
+            answers.append(dno)
+        # re-establish position at this department before moving on
+        db.gu("DEPARTMENT", {"DNO": dno})
+        department = db.gn("DEPARTMENT")
+    assert sorted(answers) == [218, 314]
+    assert db.records_visited > db.size  # navigation re-scans
+
+
+def test_records_visited_counts():
+    db = loaded()
+    db.reset()
+    db.gn("DEPARTMENT")
+    assert db.records_visited == 1
+    db.gn("DEPARTMENT")
+    # skipped everything under dept 314 to reach dept 218
+    assert db.records_visited > 10

@@ -1,0 +1,136 @@
+"""Edge-case coverage across smaller surfaces: disk files, buffer
+maintenance, catalog bookkeeping, and facade error paths."""
+
+import os
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.errors import (
+    BufferError_,
+    DuplicateIndexError,
+    ExecutionError,
+    StorageError,
+    TemporalError,
+    UnknownIndexError,
+    UnknownTableError,
+)
+from repro.storage.buffer import BufferManager
+from repro.storage.constants import PAGE_SIZE
+from repro.storage.pagedfile import DiskPagedFile, MemoryPagedFile
+
+
+def test_disk_pagedfile_missing_without_create(tmp_path):
+    with pytest.raises(StorageError):
+        DiskPagedFile(str(tmp_path / "missing.db"), create=False)
+
+
+def test_disk_pagedfile_rejects_misaligned(tmp_path):
+    path = str(tmp_path / "bad.db")
+    with open(path, "wb") as handle:
+        handle.write(b"x" * (PAGE_SIZE + 1))
+    with pytest.raises(StorageError):
+        DiskPagedFile(path)
+
+
+def test_disk_pagedfile_rejects_short_writes(tmp_path):
+    file = DiskPagedFile(str(tmp_path / "w.db"))
+    n = file.allocate_page()
+    with pytest.raises(StorageError):
+        file.write_page(n, b"short")
+    file.close()
+
+
+def test_buffer_drop_and_invalidate_guards():
+    buffer = BufferManager(MemoryPagedFile(), capacity=4)
+    n, _page = buffer.new_page()
+    with pytest.raises(BufferError_):
+        buffer.drop(n)  # pinned
+    with pytest.raises(BufferError_):
+        buffer.invalidate_cache()  # pinned
+    buffer.unpin(n, dirty=True)
+    buffer.drop(n)  # now fine; dropped without write
+    with pytest.raises(BufferError_):
+        BufferManager(MemoryPagedFile(), capacity=0)
+
+
+def test_catalog_bookkeeping():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    with pytest.raises(DuplicateIndexError):
+        db.create_index("FN", "DEPARTMENTS", "DNO")
+    assert db.catalog.index_owner("FN") == "DEPARTMENTS"
+    db.drop_table("DEPARTMENTS")
+    # dropping the table released its index names
+    with pytest.raises(UnknownIndexError):
+        db.catalog.index("FN")
+    with pytest.raises(UnknownTableError):
+        db.catalog.table("DEPARTMENTS")
+
+
+def test_facade_error_paths(paper_db):
+    from repro.storage.tid import TID
+
+    with pytest.raises(ExecutionError):
+        paper_db.delete("DEPARTMENTS", TID(999, 0))
+    with pytest.raises(ExecutionError):
+        paper_db.update("DEPARTMENTS", TID(999, 0), {"BUDGET": 1})
+    with pytest.raises(ExecutionError):
+        paper_db.open_object("EMPLOYEES-1NF", paper_db.tids("EMPLOYEES-1NF")[0])
+    with pytest.raises(ExecutionError):
+        paper_db.update(
+            "EMPLOYEES-1NF",
+            paper_db.tids("EMPLOYEES-1NF")[0],
+            lambda obj: None,  # flat tables take dicts
+        )
+    versioned = Database()
+    versioned.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True)
+    with pytest.raises(TemporalError):
+        versioned.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0], at="soon")
+
+
+def test_create_table_unknown_versioning():
+    db = Database()
+    with pytest.raises(TemporalError):
+        db.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True,
+                        versioning="quantum")
+
+
+def test_names_on_flat_table_rejected(paper_db):
+    with pytest.raises(ExecutionError):
+        paper_db.names("EMPLOYEES-1NF")
+
+
+def test_render_reports(paper_db):
+    text = paper_db.render("REPORTS")
+    assert "< AUTHORS >" in text
+    assert "Jones A" in text
+
+
+def test_io_stats_reset(paper_db):
+    paper_db.query("SELECT * FROM x IN DEPARTMENTS")
+    assert paper_db.io_stats.logical_reads > 0
+    paper_db.reset_io_stats()
+    assert paper_db.io_stats.logical_reads == 0
+
+
+def test_insert_at_on_unversioned_is_ignored_gracefully(paper_db):
+    # 'at' on an unversioned table is simply unused (no version store)
+    tid = paper_db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0], at=None)
+    assert tid in paper_db.tids("DEPARTMENTS")
+
+
+def test_order_by_inside_nested_select(paper_db):
+    """A sub-SELECT with ORDER BY yields a *list-valued* attribute."""
+    result = paper_db.query(
+        "SELECT x.DNO, "
+        "MEMBERS = (SELECT z.EMPNO FROM y IN x.PROJECTS, z IN y.MEMBERS "
+        "           ORDER BY z.EMPNO DESC) "
+        "FROM x IN DEPARTMENTS WHERE x.DNO = 314"
+    )
+    members = result[0]["MEMBERS"]
+    assert members.ordered
+    empnos = members.column("EMPNO")
+    assert empnos == sorted(empnos, reverse=True)

@@ -1,0 +1,113 @@
+"""Unit tests for the logical data model: schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.schema import TableSchema, atomic, list_of, nested, table
+from repro.model.types import AtomicType
+from repro.datasets import paper
+
+
+def test_atomic_builder_accepts_strings_and_enum():
+    a = atomic("DNO", "INT")
+    assert a.is_atomic and a.atomic_type is AtomicType.INT
+    b = atomic("NAME", AtomicType.STRING)
+    assert b.atomic_type is AtomicType.STRING
+
+
+def test_atomic_type_aliases():
+    assert AtomicType.parse("integer") is AtomicType.INT
+    assert AtomicType.parse("VARCHAR") is AtomicType.STRING
+    assert AtomicType.parse("double") is AtomicType.FLOAT
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(Exception):
+        atomic("X", "BLOB")
+
+
+def test_table_requires_attributes():
+    with pytest.raises(SchemaError):
+        table("EMPTY")
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(SchemaError):
+        table("T", atomic("A", "INT"), atomic("A", "INT"))
+
+
+def test_invalid_identifier_rejected():
+    with pytest.raises(SchemaError):
+        table("T", atomic("1BAD", "INT"))
+    with pytest.raises(SchemaError):
+        table("", atomic("A", "INT"))
+
+
+def test_nested_attribute_renames_inner_schema():
+    inner = table("SOMETHING", atomic("X", "INT"))
+    attr = nested("PROJECTS", inner)
+    assert attr.is_table
+    assert attr.table.name == "PROJECTS"
+
+
+def test_departments_schema_shape():
+    schema = paper.DEPARTMENTS_SCHEMA
+    assert schema.attribute_names == ("DNO", "MGRNO", "PROJECTS", "BUDGET", "EQUIP")
+    assert not schema.ordered
+    assert schema.depth() == 3
+    assert not schema.is_flat
+    assert [a.name for a in schema.atomic_attributes] == ["DNO", "MGRNO", "BUDGET"]
+    assert [a.name for a in schema.table_attributes] == ["PROJECTS", "EQUIP"]
+
+
+def test_flat_schema_is_flat():
+    assert paper.DEPARTMENTS_1NF_SCHEMA.is_flat
+    assert paper.DEPARTMENTS_1NF_SCHEMA.depth() == 1
+
+
+def test_ordered_list_schema():
+    authors = paper.REPORTS_SCHEMA.attribute("AUTHORS")
+    assert authors.is_table and authors.table.ordered
+
+
+def test_resolve_path():
+    schema = paper.DEPARTMENTS_SCHEMA
+    attr = schema.resolve_path(("PROJECTS", "MEMBERS", "FUNCTION"))
+    assert attr.is_atomic and attr.atomic_type is AtomicType.STRING
+    with pytest.raises(SchemaError):
+        schema.resolve_path(("DNO", "X"))
+    with pytest.raises(SchemaError):
+        schema.resolve_path(("NOPE",))
+    with pytest.raises(SchemaError):
+        schema.resolve_path(())
+
+
+def test_walk_yields_every_path():
+    paths = [p for p, _ in paper.DEPARTMENTS_SCHEMA.walk()]
+    assert ("PROJECTS", "MEMBERS", "EMPNO") in paths
+    assert ("EQUIP", "TYPE") in paths
+    assert ("DNO",) in paths
+
+
+def test_subtable_paths():
+    subtables = paper.DEPARTMENTS_SCHEMA.subtable_paths()
+    assert subtables == [("PROJECTS",), ("PROJECTS", "MEMBERS"), ("EQUIP",)]
+
+
+def test_describe_round_trips_names():
+    text = paper.DEPARTMENTS_SCHEMA.describe()
+    assert "PROJECTS TABLE OF" in text
+    assert text.startswith("TABLE DEPARTMENTS")
+
+
+def test_list_of_builder():
+    schema = list_of("AUTHORS", atomic("NAME", "STRING"))
+    assert schema.ordered
+
+
+def test_attribute_lookup_errors():
+    schema = paper.EQUIP_SCHEMA
+    with pytest.raises(SchemaError):
+        schema.attribute("MISSING")
+    assert schema.has_attribute("QU")
+    assert not schema.has_attribute("MISSING")

@@ -1,0 +1,140 @@
+"""Unit tests for nested tuple/table values."""
+
+import datetime
+
+import pytest
+
+from repro.errors import DataError
+from repro.model.schema import atomic, nested, table, list_of
+from repro.model.types import AtomicType
+from repro.model.values import TableValue, TupleValue
+from repro.datasets import paper
+
+
+def test_from_plain_dict_and_sequence():
+    schema = paper.EQUIP_SCHEMA
+    t1 = TupleValue.from_plain(schema, {"QU": 2, "TYPE": "3278"})
+    t2 = TupleValue.from_plain(schema, (2, "3278"))
+    assert t1 == t2
+    assert t1["QU"] == 2
+
+
+def test_missing_attribute_rejected():
+    with pytest.raises(DataError):
+        TupleValue.from_plain(paper.EQUIP_SCHEMA, {"QU": 2})
+
+
+def test_extra_attribute_rejected():
+    with pytest.raises(DataError):
+        TupleValue.from_plain(paper.EQUIP_SCHEMA, {"QU": 2, "TYPE": "x", "Z": 1})
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(DataError):
+        TupleValue.from_plain(paper.EQUIP_SCHEMA, (1, "x", 3))
+
+
+def test_type_validation():
+    with pytest.raises(DataError):
+        TupleValue.from_plain(paper.EQUIP_SCHEMA, {"QU": "two", "TYPE": "3278"})
+    with pytest.raises(DataError):
+        TupleValue.from_plain(paper.EQUIP_SCHEMA, {"QU": True, "TYPE": "3278"})
+
+
+def test_none_allowed_everywhere():
+    t = TupleValue.from_plain(paper.EQUIP_SCHEMA, {"QU": None, "TYPE": None})
+    assert t["QU"] is None
+
+
+def test_date_coercion_from_iso_string():
+    schema = table("T", atomic("D", "DATE"))
+    t = TupleValue.from_plain(schema, {"D": "1984-01-15"})
+    assert t["D"] == datetime.date(1984, 1, 15)
+    with pytest.raises(DataError):
+        TupleValue.from_plain(schema, {"D": "not-a-date"})
+
+
+def test_nested_table_built_from_plain_lists():
+    dept = TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, paper.DEPARTMENTS_ROWS[0])
+    projects = dept["PROJECTS"]
+    assert isinstance(projects, TableValue)
+    assert len(projects) == 2
+    members = projects[0]["MEMBERS"]
+    assert members.column("EMPNO") == [39582, 56019, 69011]
+
+
+def test_atomic_values_are_first_level_only():
+    dept = TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, paper.DEPARTMENTS_ROWS[0])
+    # exactly the paper's data subtuple '314 56194 320,000'
+    assert dept.atomic_values() == (314, 56194, 320_000)
+
+
+def test_unordered_equality_ignores_row_order():
+    schema = paper.EQUIP_SCHEMA
+    a = TableValue.from_plain(schema, [(2, "3278"), (1, "PC")])
+    b = TableValue.from_plain(schema, [(1, "PC"), (2, "3278")])
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_ordered_equality_respects_row_order():
+    schema = list_of("AUTHORS", atomic("NAME", "STRING"))
+    a = TableValue.from_plain(schema, [("Jones",), ("Smith",)])
+    b = TableValue.from_plain(schema, [("Smith",), ("Jones",)])
+    assert a != b
+    assert a == TableValue.from_plain(schema, [("Jones",), ("Smith",)])
+
+
+def test_ordered_vs_unordered_never_equal():
+    ordered = list_of("T", atomic("A", "INT"))
+    unordered = table("T", atomic("A", "INT"))
+    a = TableValue.from_plain(ordered, [(1,)])
+    b = TableValue.from_plain(unordered, [(1,)])
+    assert a != b
+
+
+def test_nested_equality_is_recursive():
+    a = TableValue.from_plain(paper.DEPARTMENTS_SCHEMA, paper.DEPARTMENTS_ROWS)
+    b = TableValue.from_plain(paper.DEPARTMENTS_SCHEMA, list(reversed(paper.DEPARTMENTS_ROWS)))
+    assert a == b
+
+
+def test_to_plain_round_trip():
+    a = TableValue.from_plain(paper.DEPARTMENTS_SCHEMA, paper.DEPARTMENTS_ROWS)
+    again = TableValue.from_plain(paper.DEPARTMENTS_SCHEMA, a.to_plain())
+    assert a == again
+
+
+def test_replace_atomic_and_nested():
+    dept = TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, paper.DEPARTMENTS_ROWS[0])
+    updated = dept.replace(BUDGET=999)
+    assert updated["BUDGET"] == 999
+    assert dept["BUDGET"] == 320_000  # original untouched
+    shrunk = dept.replace(EQUIP=[(1, "PC")])
+    assert len(shrunk["EQUIP"]) == 1
+    with pytest.raises(DataError):
+        dept.replace(NOPE=1)
+
+
+def test_table_append_and_positional_access():
+    schema = list_of("AUTHORS", atomic("NAME", "STRING"))
+    t = TableValue(schema)
+    t.append(("Jones",))
+    t.append(("Smith",))
+    t.insert(0, ("First",))
+    assert t[0]["NAME"] == "First"
+    assert len(t) == 3
+
+
+def test_column_accessor():
+    equip = TableValue.from_plain(paper.EQUIP_SCHEMA, [(2, "3278"), (1, "PC")])
+    assert equip.column("TYPE") == ["3278", "PC"]
+
+
+def test_wrong_nested_schema_rejected():
+    schema = paper.DEPARTMENTS_SCHEMA
+    other = TableValue.from_plain(paper.EQUIP_SCHEMA, [(1, "PC")])
+    row = dict(paper.DEPARTMENTS_ROWS[0])
+    row["PROJECTS"] = other
+    with pytest.raises(DataError):
+        TupleValue.from_plain(schema, row)

@@ -1,0 +1,269 @@
+"""Tests for the query-language lexer and parser."""
+
+import datetime
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.query import ast
+from repro.query.lexer import tokenize
+from repro.query.parser import parse_query, parse_statement
+
+
+def test_lexer_basic():
+    tokens = list(tokenize("SELECT x.DNO FROM x IN DEPARTMENTS"))
+    kinds = [t.kind for t in tokens]
+    assert kinds == [
+        "keyword", "ident", "punct", "ident", "keyword", "ident",
+        "keyword", "ident", "eof",
+    ]
+
+
+def test_lexer_strings_with_escapes():
+    tokens = list(tokenize("'PC/AT' 'O''Brien'"))
+    assert tokens[0].text == "PC/AT"
+    assert tokens[1].text == "O'Brien"
+
+
+def test_lexer_comments_skipped():
+    tokens = list(tokenize("SELECT -- a comment\n*"))
+    assert [t.text for t in tokens] == ["SELECT", "*", ""]
+
+
+def test_lexer_rejects_garbage():
+    with pytest.raises(LexError):
+        list(tokenize("SELECT @"))
+
+
+def test_parse_requires_var_in_table():
+    # the paper binds tuple variables with 'x IN DEPARTMENTS'; bare table
+    # names in FROM are rejected
+    with pytest.raises(ParseError):
+        parse_query("SELECT * FROM DEPARTMENTS WHERE 1 = 1")
+
+
+def test_parse_simple_query():
+    query = parse_query("SELECT x.DNO, x.MGRNO FROM x IN DEPARTMENTS")
+    assert query.ranges == (
+        ast.Range(var="x", source=ast.Source(table="DEPARTMENTS")),
+    )
+    assert [item.output_name() for item in query.select] == ["DNO", "MGRNO"]
+
+
+def test_parse_star():
+    query = parse_query("SELECT * FROM x IN DEPARTMENTS")
+    assert query.select_star
+
+
+def test_parse_nested_range_path():
+    query = parse_query(
+        "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS"
+    )
+    source = query.ranges[1].source
+    assert source.path == ast.Path("x", (ast.PathStep("PROJECTS"),))
+
+
+def test_parse_exists_chain_without_colons():
+    """The paper's layout: no separators between quantifier and body."""
+    query = parse_query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+        "z.FUNCTION = 'Consultant'"
+    )
+    outer = query.where
+    assert isinstance(outer, ast.Quantifier) and outer.kind == "EXISTS"
+    inner = outer.body
+    assert isinstance(inner, ast.Quantifier)
+    assert isinstance(inner.body, ast.Comparison)
+
+
+def test_parse_all_chain_with_colons():
+    query = parse_query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE ALL y IN x.PROJECTS: ALL z IN y.MEMBERS: "
+        "z.FUNCTION = 'Consultant'"
+    )
+    assert isinstance(query.where, ast.Quantifier)
+    assert query.where.kind == "ALL"
+
+
+def test_parse_subscript():
+    query = parse_query(
+        "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS "
+        "WHERE x.AUTHORS[1] = 'Jones A'"
+    )
+    comparison = query.where
+    assert isinstance(comparison, ast.Comparison)
+    assert comparison.left.steps == (ast.PathStep("AUTHORS", 1),)
+
+
+def test_parse_zero_subscript_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT x.A FROM x IN T WHERE x.L[0] = 1")
+
+
+def test_parse_nested_select_item():
+    query = parse_query(
+        "SELECT x.DNO, PROJECTS = (SELECT y.PNO FROM y IN x.PROJECTS) "
+        "FROM x IN DEPARTMENTS"
+    )
+    item = query.select[1]
+    assert item.alias == "PROJECTS"
+    assert isinstance(item.expr, ast.Query)
+
+
+def test_parse_renamed_item_and_as():
+    query = parse_query("SELECT D = x.DNO, x.MGRNO AS BOSS FROM x IN T")
+    assert query.select[0].output_name() == "D"
+    assert query.select[1].output_name() == "BOSS"
+
+
+def test_parse_contains():
+    query = parse_query(
+        "SELECT x.REPNO FROM x IN REPORTS WHERE x.TITLE CONTAINS '*comput*'"
+    )
+    assert isinstance(query.where, ast.Contains)
+    assert query.where.pattern == "*comput*"
+
+
+def test_parse_not_contains_and_is_null():
+    query = parse_query(
+        "SELECT x.A FROM x IN T "
+        "WHERE x.T NOT CONTAINS '*x*' AND x.B IS NOT NULL AND x.C IS NULL"
+    )
+    a, b, c = query.where.operands
+    assert isinstance(a, ast.Contains) and a.negated
+    assert isinstance(b, ast.IsNull) and b.negated
+    assert isinstance(c, ast.IsNull) and not c.negated
+
+
+def test_parse_asof():
+    query = parse_query(
+        "SELECT y.PNO FROM x IN DEPARTMENTS ASOF '1984-01-15', "
+        "y IN x.PROJECTS WHERE x.DNO = 314"
+    )
+    assert query.ranges[0].source.asof == datetime.date(1984, 1, 15)
+
+
+def test_parse_asof_bad_date():
+    with pytest.raises(ParseError):
+        parse_query("SELECT * FROM x IN T ASOF 'January 15th, 1984'")
+
+
+def test_parse_boolean_precedence():
+    query = parse_query(
+        "SELECT x.A FROM x IN T WHERE x.A = 1 OR x.B = 2 AND x.C = 3"
+    )
+    assert isinstance(query.where, ast.BoolOp) and query.where.op == "OR"
+    right = query.where.operands[1]
+    assert isinstance(right, ast.BoolOp) and right.op == "AND"
+
+
+def test_parse_parenthesized_predicate():
+    query = parse_query(
+        "SELECT x.A FROM x IN T WHERE (x.A = 1 OR x.B = 2) AND x.C = 3"
+    )
+    assert isinstance(query.where, ast.BoolOp) and query.where.op == "AND"
+
+
+def test_parse_comparison_operators():
+    for op in ["=", "<>", "!=", "<", "<=", ">", ">="]:
+        query = parse_query(f"SELECT x.A FROM x IN T WHERE x.A {op} 5")
+        expected = "<>" if op == "!=" else op
+        assert query.where.op == expected
+
+
+# -- DML / DDL statements ------------------------------------------------------
+
+
+def test_parse_insert_with_nested_literals():
+    statement = parse_statement(
+        "INSERT INTO DEPARTMENTS VALUES "
+        "(99, 11111, {(1, 'P', {(5, 'Leader')})}, 1000, {(1, 'PC')})"
+    )
+    assert isinstance(statement, ast.InsertStatement)
+    row = statement.rows[0]
+    projects = row.values[2]
+    assert isinstance(projects, ast.TableLiteral) and not projects.ordered
+    members = projects.rows[0].values[2]
+    assert isinstance(members, ast.TableLiteral)
+
+
+def test_parse_insert_list_literal():
+    statement = parse_statement(
+        "INSERT INTO REPORTS VALUES ('0001', <('Jones A'), ('Poe B')>, 'T', {})"
+    )
+    authors = statement.rows[0].values[1]
+    assert authors.ordered and len(authors.rows) == 2
+    descriptors = statement.rows[0].values[3]
+    assert descriptors.rows == ()
+
+
+def test_parse_insert_negative_number():
+    statement = parse_statement("INSERT INTO T VALUES (-5, 3.5, TRUE, NULL)")
+    values = [v.value for v in statement.rows[0].values]
+    assert values == [-5, 3.5, True, None]
+
+
+def test_parse_update():
+    statement = parse_statement(
+        "UPDATE DEPARTMENTS x SET BUDGET = 0, x.MGRNO = 1 WHERE x.DNO = 314"
+    )
+    assert isinstance(statement, ast.UpdateStatement)
+    assert [a[0] for a in statement.assignments] == ["BUDGET", "MGRNO"]
+
+
+def test_parse_delete():
+    statement = parse_statement("DELETE FROM DEPARTMENTS x WHERE x.DNO = 314")
+    assert isinstance(statement, ast.DeleteStatement)
+    assert statement.var == "x"
+
+
+def test_parse_create_table_versioned():
+    statement = parse_statement("CREATE VERSIONED TABLE T (A INT)")
+    assert isinstance(statement, ast.CreateTableStatement)
+    assert statement.versioned
+    assert statement.ddl_text.startswith("CREATE ")
+    assert "VERSIONED" not in statement.ddl_text
+
+
+def test_parse_create_index():
+    statement = parse_statement(
+        "CREATE INDEX FN ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)"
+    )
+    assert isinstance(statement, ast.CreateIndexStatement)
+    assert statement.attribute_path == ("PROJECTS", "MEMBERS", "FUNCTION")
+    assert not statement.text
+
+
+def test_parse_create_text_index():
+    statement = parse_statement("CREATE TEXT INDEX TX ON REPORTS (TITLE)")
+    assert statement.text
+
+
+def test_parse_drop():
+    assert isinstance(parse_statement("DROP TABLE T"), ast.DropTableStatement)
+    assert isinstance(parse_statement("DROP INDEX I"), ast.DropIndexStatement)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "SELECT",
+        "SELECT x.A",
+        "SELECT x.A FROM",
+        "SELECT x.A FROM x",
+        "SELECT x.A FROM x IN",
+        "SELECT x.A FROM x IN T WHERE",
+        "SELECT x.A FROM x IN T WHERE x.A",
+        "SELECT x.A FROM x IN T trailing",
+        "INSERT INTO T",
+        "UPDATE T SET",
+        "DELETE T",
+        "CREATE INDEX I ON",
+        "SELECT x.A FROM x IN T WHERE x.A CONTAINS 5",
+    ],
+)
+def test_parse_errors(text):
+    with pytest.raises(ParseError):
+        parse_statement(text)

@@ -1,0 +1,195 @@
+"""Tests for language-level partial DML (sub-object insert/update/delete)."""
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.errors import ExecutionError
+
+
+def fresh_db(versioned=False, versioning="object"):
+    db = Database()
+    db.create_table(
+        paper.DEPARTMENTS_SCHEMA, versioned=versioned, versioning=versioning
+    )
+    db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+    return db
+
+
+def test_sub_insert_into_selected_project():
+    db = fresh_db()
+    count = db.execute(
+        "INSERT INTO y.MEMBERS "
+        "FROM x IN DEPARTMENTS, y IN x.PROJECTS "
+        "WHERE x.DNO = 314 AND y.PNO = 17 "
+        "VALUES (77001, 'Staff'), (77002, 'Staff')"
+    )
+    assert count == 2
+    members = db.query(
+        "SELECT z.EMPNO FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+        "z IN y.MEMBERS WHERE y.PNO = 17"
+    )
+    assert 77001 in members.column("EMPNO") and 77002 in members.column("EMPNO")
+    # other projects untouched
+    hear = db.query(
+        "SELECT z.EMPNO FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+        "z IN y.MEMBERS WHERE y.PNO = 23"
+    )
+    assert len(hear) == 4
+
+
+def test_sub_insert_top_level_subtable():
+    db = fresh_db()
+    db.execute(
+        "INSERT INTO x.EQUIP FROM x IN DEPARTMENTS WHERE x.DNO = 417 "
+        "VALUES (9, '3290')"
+    )
+    equip = db.query(
+        "SELECT v.TYPE FROM x IN DEPARTMENTS, v IN x.EQUIP WHERE x.DNO = 417"
+    )
+    assert "3290" in equip.column("TYPE")
+    assert len(equip) == 8
+
+
+def test_sub_insert_nested_literal():
+    db = fresh_db()
+    db.execute(
+        "INSERT INTO x.PROJECTS FROM x IN DEPARTMENTS WHERE x.DNO = 218 "
+        "VALUES (31, 'DOCS', {(88001, 'Leader'), (88002, 'Staff')})"
+    )
+    members = db.query(
+        "SELECT z.EMPNO FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+        "z IN y.MEMBERS WHERE y.PNO = 31"
+    )
+    assert sorted(members.column("EMPNO")) == [88001, 88002]
+
+
+def test_sub_update_member_function():
+    db = fresh_db()
+    count = db.execute(
+        "UPDATE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS "
+        "SET FUNCTION = 'Adviser' WHERE z.EMPNO = 56019"
+    )
+    assert count == 1
+    check = db.query(
+        "SELECT z.FUNCTION FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+        "z IN y.MEMBERS WHERE z.EMPNO = 56019"
+    )
+    assert check.column("FUNCTION") == ["Adviser"]
+
+
+def test_sub_update_with_expression_referencing_outer_vars():
+    db = fresh_db()
+    db.execute(
+        "UPDATE y FROM x IN DEPARTMENTS, y IN x.PROJECTS "
+        "SET PNO = x.DNO WHERE y.PNO = 37"
+    )
+    check = db.query(
+        "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS "
+        "WHERE x.DNO = 417"
+    )
+    assert check.column("PNO") == [417]
+
+
+def test_sub_delete_all_staff():
+    db = fresh_db()
+    count = db.execute(
+        "DELETE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS "
+        "WHERE z.FUNCTION = 'Staff'"
+    )
+    assert count == 6  # 58912, 98902, 89211, 72723, 75913, 96001
+    remaining = db.query(
+        "SELECT z.FUNCTION FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+        "z IN y.MEMBERS"
+    )
+    assert "Staff" not in remaining.column("FUNCTION")
+
+
+def test_sub_delete_whole_projects():
+    db = fresh_db()
+    db.execute(
+        "DELETE y FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE x.DNO = 314"
+    )
+    check = db.query(
+        "SELECT COUNT(x.PROJECTS) AS N FROM x IN DEPARTMENTS WHERE x.DNO = 314"
+    )
+    assert check[0]["N"] == 0
+    # dept 218's project untouched
+    other = db.query(
+        "SELECT COUNT(x.PROJECTS) AS N FROM x IN DEPARTMENTS WHERE x.DNO = 218"
+    )
+    assert other[0]["N"] == 1
+
+
+def test_sub_delete_positions_stay_valid():
+    """Deleting several elements of the same subtable must not be confused
+    by shifting positions."""
+    db = fresh_db()
+    # dept 218's project 25 has two Consultants at positions 1 and 3
+    db.execute(
+        "DELETE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS "
+        "WHERE x.DNO = 218 AND z.FUNCTION = 'Consultant'"
+    )
+    members = db.query(
+        "SELECT z.EMPNO, z.FUNCTION FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+        "z IN y.MEMBERS WHERE x.DNO = 218"
+    )
+    assert sorted(members.column("EMPNO")) == [72723, 89211, 92100, 99023]
+
+
+def test_sub_delete_var_over_stored_table_is_whole_delete():
+    db = fresh_db()
+    db.execute("DELETE x FROM x IN DEPARTMENTS WHERE x.DNO = 218")
+    assert sorted(
+        db.query("SELECT x.DNO FROM x IN DEPARTMENTS").column("DNO")
+    ) == [314, 417]
+
+
+def test_partial_dml_maintains_indexes():
+    db = fresh_db()
+    db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    db.execute(
+        "DELETE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS "
+        "WHERE z.FUNCTION = 'Consultant'"
+    )
+    index = db.catalog.index("FN")
+    assert index.search("Consultant") == []
+
+
+def test_partial_dml_on_subtuple_versioned_table():
+    db = fresh_db(versioned=True, versioning="subtuple")
+    db.execute(
+        "UPDATE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS "
+        "SET FUNCTION = 'Adviser' WHERE z.EMPNO = 56019"
+    )
+    now = db.query(
+        "SELECT z.FUNCTION FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+        "z IN y.MEMBERS WHERE z.EMPNO = 56019"
+    )
+    assert now.column("FUNCTION") == ["Adviser"]
+    # ... and the history still shows the consultant
+    old = db.query(
+        "SELECT z.FUNCTION FROM x IN DEPARTMENTS ASOF '0001-01-02', "
+        "y IN x.PROJECTS, z IN y.MEMBERS WHERE z.EMPNO = 56019"
+    )
+    assert old.column("FUNCTION") == ["Consultant"]
+
+
+def test_partial_dml_error_paths():
+    db = fresh_db()
+    with pytest.raises(ExecutionError):
+        db.execute(
+            "INSERT INTO x.PROJECTS.MEMBERS FROM x IN DEPARTMENTS VALUES (1, 'x')"
+        )
+    with pytest.raises(ExecutionError):
+        db.execute(
+            "DELETE q FROM x IN DEPARTMENTS WHERE x.DNO = 314"
+        )
+    with pytest.raises(ExecutionError):
+        db.execute(
+            "UPDATE y FROM x IN DEPARTMENTS, y IN x.PROJECTS SET MEMBERS = 1"
+        )
+    with pytest.raises(ExecutionError):
+        db.execute(
+            "DELETE z FROM x IN DEPARTMENTS, z IN x.PROJECTS ASOF '1984-01-01'"
+        )

@@ -1,0 +1,123 @@
+"""Tests for database persistence: save / reopen across processes'
+lifetimes, with indexes, versions, and complex objects intact."""
+
+import datetime
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.errors import StorageError
+
+
+def test_save_requires_disk_backing():
+    db = Database()
+    with pytest.raises(StorageError):
+        db.save()
+
+
+def test_save_and_reopen_flat_and_nested(tmp_path):
+    path = str(tmp_path / "aim2.db")
+    with Database(path=path) as db:
+        db.create_table(paper.DEPARTMENTS_SCHEMA)
+        db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+        db.create_table(paper.EMPLOYEES_1NF_SCHEMA)
+        db.insert_many(
+            "EMPLOYEES-1NF", (r.to_plain() for r in paper.employees_1nf())
+        )
+        db.save()
+
+    with Database(path=path) as again:
+        departments = again.table_value("DEPARTMENTS")
+        assert departments == paper.departments()
+        employees = again.table_value("EMPLOYEES-1NF")
+        assert employees == paper.employees_1nf()
+        # and the reopened database is fully operational
+        result = again.query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS "
+            "WHERE EXISTS y IN x.EQUIP: y.TYPE = 'PC/AT'"
+        )
+        assert sorted(result.column("DNO")) == [218, 314, 417]
+
+
+def test_indexes_rebuilt_on_reopen(tmp_path):
+    path = str(tmp_path / "indexed.db")
+    with Database(path=path) as db:
+        db.create_table(paper.DEPARTMENTS_SCHEMA)
+        db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+        db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+        db.create_table(paper.REPORTS_SCHEMA)
+        db.insert_many("REPORTS", paper.REPORTS_ROWS)
+        db.create_text_index("TX", "REPORTS", "TITLE")
+        db.save()
+
+    with Database(path=path) as again:
+        result = again.query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS "
+            "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+            "z.FUNCTION = 'Consultant'"
+        )
+        assert sorted(result.column("DNO")) == [218, 314]
+        assert again.last_plan is not None
+        assert again.last_plan.used_indexes == ["FN"]
+        hit = again.query(
+            "SELECT x.REPNO FROM x IN REPORTS WHERE x.TITLE CONTAINS '*string*'"
+        )
+        assert hit.column("REPNO") == ["0189"]
+
+
+def test_versioned_history_survives_reopen(tmp_path):
+    path = str(tmp_path / "versioned.db")
+    with Database(path=path) as db:
+        db.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True)
+        tid = db.insert(
+            "DEPARTMENTS", paper.DEPARTMENTS_ROWS[0],
+            at=datetime.date(1984, 1, 1),
+        )
+        db.update(
+            "DEPARTMENTS", tid, {"BUDGET": 999},
+            at=datetime.date(1984, 2, 1),
+        )
+        db.save()
+
+    with Database(path=path) as again:
+        old = again.query(
+            "SELECT x.BUDGET FROM x IN DEPARTMENTS ASOF '1984-01-15'"
+        )
+        assert old.column("BUDGET") == [320_000]
+        now = again.query("SELECT x.BUDGET FROM x IN DEPARTMENTS")
+        assert now.column("BUDGET") == [999]
+        tid = again.tids("DEPARTMENTS")[0]
+        history = again.history("DEPARTMENTS", tid)
+        assert [v[2]["BUDGET"] for v in history] == [320_000, 999]
+
+
+def test_mutations_after_reopen(tmp_path):
+    path = str(tmp_path / "mutate.db")
+    with Database(path=path) as db:
+        db.create_table(paper.DEPARTMENTS_SCHEMA)
+        db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+        db.save()
+
+    with Database(path=path) as again:
+        again.execute("DELETE FROM DEPARTMENTS x WHERE x.DNO = 218")
+        again.execute(
+            "INSERT INTO DEPARTMENTS VALUES (900, 1, {}, 5, {(1, 'PC')})"
+        )
+        again.save()
+
+    with Database(path=path) as third:
+        result = third.query("SELECT x.DNO FROM x IN DEPARTMENTS")
+        assert sorted(result.column("DNO")) == [314, 417, 900]
+
+
+def test_save_load_roundtrip_is_stable(tmp_path):
+    path = str(tmp_path / "stable.db")
+    with Database(path=path) as db:
+        db.create_table(paper.REPORTS_SCHEMA)
+        db.insert_many("REPORTS", paper.REPORTS_ROWS)
+        db.save()
+    for _ in range(3):  # repeated open/save cycles must not corrupt
+        with Database(path=path) as db:
+            assert db.table_value("REPORTS") == paper.reports()
+            db.save()

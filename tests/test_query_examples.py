@@ -1,0 +1,203 @@
+"""End-to-end reproduction of the paper's Section 3 examples (1-8) plus the
+Section 4.2 index queries and the Section 5 text query — executed through
+the full stack (parser → binder → planner → executor → storage engine).
+"""
+
+import pytest
+
+from repro.algebra import project, unnest
+from repro.datasets import paper
+
+# Fig 3 — constructing Table 5 from Tables 1 to 4 ("nest" operation).
+FIG3_NEST_QUERY = """
+SELECT x.DNO, x.MGRNO,
+       PROJECTS = (SELECT y.PNO, y.PNAME,
+                          MEMBERS = (SELECT z.EMPNO, z.FUNCTION
+                                     FROM z IN MEMBERS-1NF
+                                     WHERE z.DNO = x.DNO AND z.PNO = y.PNO)
+                   FROM y IN PROJECTS-1NF
+                   WHERE y.DNO = x.DNO),
+       x.BUDGET,
+       EQUIP = (SELECT v.QU, v.TYPE
+                FROM v IN EQUIP-1NF
+                WHERE v.DNO = x.DNO)
+FROM x IN DEPARTMENTS-1NF
+"""
+
+# Fig 2 — retrieving Table 5 with the result structure made explicit.
+FIG2_EXPLICIT_QUERY = """
+SELECT x.DNO, x.MGRNO,
+       PROJECTS = (SELECT y.PNO, y.PNAME,
+                          MEMBERS = (SELECT z.EMPNO, z.FUNCTION
+                                     FROM z IN y.MEMBERS)
+                   FROM y IN x.PROJECTS),
+       x.BUDGET,
+       EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP)
+FROM x IN DEPARTMENTS
+"""
+
+
+def test_example_1_select_star(paper_db):
+    """Example 1: implicit result structure."""
+    result = paper_db.query("SELECT * FROM x IN DEPARTMENTS")
+    assert result == paper.departments()
+    long_form = paper_db.query(
+        "SELECT x.DNO, x.MGRNO, x.PROJECTS, x.BUDGET, x.EQUIP "
+        "FROM x IN DEPARTMENTS"
+    )
+    assert long_form == paper.departments()
+
+
+def test_example_2_explicit_structure(paper_db):
+    """Example 2 / Fig 2: explicit result structure equals the source."""
+    result = paper_db.query(FIG2_EXPLICIT_QUERY)
+    assert result == paper.departments()
+
+
+def test_example_3_nest_from_flat_tables(paper_db):
+    """Example 3 / Fig 3: Table 5 reconstructed from Tables 1-4."""
+    result = paper_db.query(FIG3_NEST_QUERY)
+    assert result == paper.departments()
+
+
+def test_example_4_unnest_gives_table7(paper_db):
+    """Example 4: flattening Table 5 into Table 7 (and the equivalent flat
+    three-way join gives the same rows)."""
+    result = paper_db.query(
+        "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION "
+        "FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS"
+    )
+    assert len(result) == 17
+    # cross-check against the algebraic unnest of Table 5
+    expected = project(
+        unnest(unnest(paper.departments(), "PROJECTS"), "MEMBERS"),
+        ["DNO", "MGRNO", "PNO", "PNAME", "EMPNO", "FUNCTION"],
+        name="RESULT",
+    )
+    assert result == expected
+    # the paper's flat formulation (more difficult to write, same answer)
+    flat = paper_db.query(
+        "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION "
+        "FROM x IN DEPARTMENTS-1NF, y IN PROJECTS-1NF, z IN MEMBERS-1NF "
+        "WHERE x.DNO = y.DNO AND y.PNO = z.PNO AND y.DNO = z.DNO"
+    )
+    assert flat == result
+
+
+def test_example_5_exists(paper_db):
+    """Example 5: departments using a PC/AT."""
+    result = paper_db.query(
+        "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.EQUIP: y.TYPE = 'PC/AT'"
+    )
+    # all three of the paper's departments own a PC/AT
+    assert sorted(result.column("DNO")) == [218, 314, 417]
+    assert result.schema.is_flat
+
+
+def test_example_6_all_quantifier_empty_result(paper_db):
+    """Example 6: departments with only consultants — empty, as the paper
+    states."""
+    result = paper_db.query(
+        "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS "
+        "WHERE ALL y IN x.PROJECTS: ALL z IN y.MEMBERS: "
+        "z.FUNCTION = 'Consultant'"
+    )
+    assert len(result) == 0
+
+
+def test_example_7_join_members_employees(paper_db):
+    """Example 7 / Fig 4: employees grouped by department via a join
+    between MEMBERS (inside DEPARTMENTS) and EMPLOYEES-1NF."""
+    result = paper_db.query(
+        """
+        SELECT x.DNO, x.MGRNO,
+               EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX,
+                                   z.FUNCTION
+                            FROM y IN x.PROJECTS, z IN y.MEMBERS,
+                                 u IN EMPLOYEES-1NF
+                            WHERE z.EMPNO = u.EMPNO)
+        FROM x IN DEPARTMENTS
+        """
+    )
+    assert len(result) == 3
+    by_dno = {row["DNO"]: row for row in result}
+    employees_314 = by_dno[314]["EMPLOYEES"]
+    assert len(employees_314) == 7  # 3 members of project 17 + 4 of 23
+    krueger = [r for r in employees_314 if r["EMPNO"] == 39582][0]
+    assert krueger["LNAME"] == "Krueger"
+
+
+def test_example_7b_two_joins_manager_name(paper_db):
+    """Fig 5: the same query with a second join retrieving the manager's
+    name and sex instead of MGRNO."""
+    result = paper_db.query(
+        """
+        SELECT x.DNO, m.LNAME, m.SEX,
+               EMPLOYEES = (SELECT z.EMPNO, u.LNAME, z.FUNCTION
+                            FROM y IN x.PROJECTS, z IN y.MEMBERS,
+                                 u IN EMPLOYEES-1NF
+                            WHERE z.EMPNO = u.EMPNO)
+        FROM x IN DEPARTMENTS, m IN EMPLOYEES-1NF
+        WHERE x.MGRNO = m.EMPNO
+        """
+    )
+    by_dno = {row["DNO"]: row for row in result}
+    assert by_dno[314]["LNAME"] == "Schmidt"
+    assert by_dno[417]["SEX"] == "female"
+
+
+def test_example_8_list_subscript(paper_db):
+    """Example 8: reports with 'Jones A' as the first author."""
+    result = paper_db.query(
+        "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS "
+        "WHERE x.AUTHORS[1] = 'Jones A'"
+    )
+    assert len(result) == 1
+    # the result is not flat: AUTHORS is carried over as a list
+    authors = result[0]["AUTHORS"]
+    assert authors.ordered
+    assert authors.column("NAME") == ["Jones A"]
+    # report 0291 has Jones as *third* author: correctly excluded
+
+
+def test_section42_query1_consultant_departments(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+        "z.FUNCTION = 'Consultant'"
+    )
+    assert sorted(result.column("DNO")) == [218, 314]
+
+
+def test_section42_query2_consultant_projects(paper_db):
+    result = paper_db.query(
+        "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS "
+        "WHERE EXISTS z IN y.MEMBERS z.FUNCTION = 'Consultant'"
+    )
+    assert sorted(result.column("PNO")) == [17, 25]
+
+
+def test_section42_query3_pno_and_consultant(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS "
+        "(y.PNO = 17 AND EXISTS z IN y.MEMBERS z.FUNCTION = 'Consultant')"
+    )
+    assert result.column("DNO") == [314]
+
+
+def test_section5_text_query(paper_db):
+    """Section 5: masked search + list membership.  Against the paper's
+    Table 6 the '*comput*' pattern matches nothing; '*string*' finds 0189."""
+    empty = paper_db.query(
+        "SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS "
+        "WHERE x.TITLE CONTAINS '*comput*' "
+        "AND EXISTS y IN x.AUTHORS: y.NAME = 'Jones A'"
+    )
+    assert len(empty) == 0
+    found = paper_db.query(
+        "SELECT x.REPNO FROM x IN REPORTS "
+        "WHERE x.TITLE CONTAINS '*string*search*'"
+    )
+    assert found.column("REPNO") == ["0189"]

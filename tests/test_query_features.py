@@ -1,0 +1,206 @@
+"""Tests for query-language features beyond the paper's examples:
+DISTINCT, ORDER BY, NULL handling, expression corners, and error paths."""
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.errors import BindError, ExecutionError
+from repro.query.executor import compare, masked_match
+
+
+def test_distinct_removes_duplicates(paper_db):
+    plain = paper_db.query(
+        "SELECT z.FUNCTION FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+        "z IN y.MEMBERS"
+    )
+    assert len(plain) == 17
+    distinct = paper_db.query(
+        "SELECT DISTINCT z.FUNCTION FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+        "z IN y.MEMBERS"
+    )
+    assert sorted(distinct.column("FUNCTION")) == [
+        "Consultant", "Leader", "Secretary", "Staff",
+    ]
+
+
+def test_distinct_on_nested_values(paper_db):
+    result = paper_db.query(
+        "SELECT DISTINCT x.EQUIP FROM x IN DEPARTMENTS"
+    )
+    assert len(result) == 3  # all three departments differ in equipment
+
+
+def test_order_by_ascending_descending(paper_db):
+    ascending = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS ORDER BY x.DNO"
+    )
+    assert ascending.column("DNO") == [218, 314, 417]
+    assert ascending.ordered  # ORDER BY yields a list
+    descending = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS ORDER BY x.DNO DESC"
+    )
+    assert descending.column("DNO") == [417, 314, 218]
+
+
+def test_order_by_multiple_keys(paper_db):
+    result = paper_db.query(
+        "SELECT m.FUNCTION, m.EMPNO FROM m IN MEMBERS-1NF "
+        "ORDER BY m.FUNCTION ASC, m.EMPNO DESC"
+    )
+    rows = [(r["FUNCTION"], r["EMPNO"]) for r in result]
+    assert rows == sorted(rows, key=lambda p: (p[0], -p[1]))
+
+
+def test_order_by_key_not_in_output(paper_db):
+    """Sorting on an expression that is not selected."""
+    result = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS ORDER BY x.BUDGET DESC"
+    )
+    assert result.column("DNO") == [218, 417, 314]
+
+
+def test_order_by_table_valued_rejected(paper_db):
+    with pytest.raises(BindError):
+        paper_db.query("SELECT x.DNO FROM x IN DEPARTMENTS ORDER BY x.PROJECTS")
+
+
+def test_order_by_with_distinct(paper_db):
+    result = paper_db.query(
+        "SELECT DISTINCT z.FUNCTION FROM x IN DEPARTMENTS, "
+        "y IN x.PROJECTS, z IN y.MEMBERS ORDER BY z.FUNCTION"
+    )
+    assert result.column("FUNCTION") == [
+        "Consultant", "Leader", "Secretary", "Staff",
+    ]
+
+
+def test_null_comparisons_are_false():
+    db = Database()
+    db.execute("CREATE TABLE T (A INT, B STRING)")
+    db.insert("T", (1, "x"))
+    db.insert("T", (None, None))
+    assert len(db.query("SELECT t.A FROM t IN T WHERE t.A = 1")) == 1
+    assert len(db.query("SELECT t.A FROM t IN T WHERE t.A <> 1")) == 0
+    assert len(db.query("SELECT t.A FROM t IN T WHERE t.A IS NULL")) == 1
+    assert len(db.query("SELECT t.B FROM t IN T WHERE t.B IS NOT NULL")) == 1
+    # NULLs sort first
+    result = db.query("SELECT t.A FROM t IN T ORDER BY t.A")
+    assert result.column("A") == [None, 1]
+
+
+def test_subscript_out_of_range_is_null(paper_db):
+    result = paper_db.query(
+        "SELECT x.REPNO FROM x IN REPORTS WHERE x.AUTHORS[9] = 'Jones A'"
+    )
+    assert len(result) == 0
+    result = paper_db.query(
+        "SELECT x.REPNO FROM x IN REPORTS WHERE x.AUTHORS[9] IS NULL"
+    )
+    assert len(result) == 3
+
+
+def test_subscript_then_attribute(paper_db):
+    result = paper_db.query(
+        "SELECT x.REPNO FROM x IN REPORTS WHERE x.AUTHORS[2].NAME = 'Meyer P'"
+    )
+    assert result.column("REPNO") == ["0291"]
+
+
+def test_subscript_on_unordered_rejected(paper_db):
+    with pytest.raises(BindError):
+        paper_db.query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.EQUIP[1] = 1"
+        )
+
+
+def test_comparison_int_float_mix():
+    db = Database()
+    db.execute("CREATE TABLE T (A FLOAT)")
+    db.insert("T", (2.0,))
+    assert len(db.query("SELECT t.A FROM t IN T WHERE t.A = 2")) == 1
+    assert len(db.query("SELECT t.A FROM t IN T WHERE t.A >= 1.5")) == 1
+
+
+def test_table_valued_comparison(paper_db):
+    """Comparing two table values (canonical equality)."""
+    result = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS, y IN DEPARTMENTS "
+        "WHERE x.EQUIP = y.EQUIP AND x.DNO <> y.DNO"
+    )
+    assert len(result) == 0  # all equipment sets differ
+    same = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS, y IN DEPARTMENTS "
+        "WHERE x.PROJECTS = y.PROJECTS"
+    )
+    assert sorted(same.column("DNO")) == [218, 314, 417]  # each equals itself
+
+
+def test_table_comparison_with_order_op_rejected(paper_db):
+    with pytest.raises(BindError):
+        paper_db.query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS, y IN DEPARTMENTS "
+            "WHERE x.EQUIP < y.EQUIP"
+        )
+
+
+def test_quantifier_over_empty_subtable():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.insert("DEPARTMENTS", {
+        "DNO": 1, "MGRNO": 2, "BUDGET": 3, "PROJECTS": [], "EQUIP": [],
+    })
+    # ALL over empty: vacuously true; EXISTS: false
+    assert len(db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE ALL y IN x.PROJECTS: y.PNO = 0"
+    )) == 1
+    assert len(db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS: y.PNO = 0"
+    )) == 0
+
+
+def test_not_and_nested_boolean(paper_db):
+    result = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE NOT EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+        "z.FUNCTION = 'Consultant'"
+    )
+    assert result.column("DNO") == [417]
+
+
+def test_masked_match_semantics():
+    assert masked_match("*comput*", "Minicomputer Networks")
+    assert masked_match("*comput*", "computational")
+    assert not masked_match("*comput*", "compiler")
+    assert masked_match("?omputer", "Computer")
+    assert masked_match("comput*", "computing times")
+    assert not masked_match("comput", "computing")  # full match semantics
+    assert masked_match("*", "anything")
+
+
+def test_compare_helper_rejects_bad_ops():
+    with pytest.raises(ExecutionError):
+        compare("<", paper.departments(), paper.departments())
+    assert compare("=", paper.departments(), paper.departments())
+    assert not compare("=", True, 1)  # bool is not int here
+
+
+def test_nested_subquery_as_where_expression(paper_db):
+    """A subquery compared against a stored subtable."""
+    result = paper_db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE x.EQUIP = (SELECT v.QU, v.TYPE FROM v IN EQUIP-1NF "
+        "                 WHERE v.DNO = x.DNO)"
+    )
+    assert sorted(result.column("DNO")) == [218, 314, 417]
+
+
+def test_renamed_output_with_expression(paper_db):
+    result = paper_db.query(
+        "SELECT D = x.DNO, TOTAL = x.BUDGET FROM x IN DEPARTMENTS "
+        "WHERE x.DNO = 314"
+    )
+    assert result.schema.attribute_names == ("D", "TOTAL")
+    assert result[0]["TOTAL"] == 320_000

@@ -1,0 +1,116 @@
+"""Tests for the recursive NF2 algebra (/Jae85b/)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    apply_at,
+    nest_at,
+    project_at,
+    select_at,
+    unnest,
+    unnest_at,
+)
+from repro.datasets import paper
+from repro.errors import SchemaError
+from repro.model.values import TableValue
+
+
+def departments():
+    return paper.departments()
+
+
+def test_apply_at_empty_path_is_plain_application():
+    result = apply_at(departments(), [], lambda t: t)
+    assert result == departments()
+
+
+def test_select_at_filters_inside_projects():
+    """Keep only consultant members inside every project — departments and
+    projects stay intact."""
+    result = select_at(
+        departments(),
+        ["PROJECTS", "MEMBERS"],
+        lambda member: member["FUNCTION"] == "Consultant",
+    )
+    assert len(result) == 3  # departments untouched
+    by_dno = {row["DNO"]: row for row in result}
+    # project 17 keeps exactly 56019
+    assert by_dno[314]["PROJECTS"][0]["MEMBERS"].column("EMPNO") == [56019]
+    # project 23 keeps nobody but still exists
+    assert len(by_dno[314]["PROJECTS"][1]["MEMBERS"]) == 0
+    assert by_dno[314]["PROJECTS"].column("PNO") == [17, 23]
+
+
+def test_project_at_inside_members():
+    result = project_at(departments(), ["PROJECTS", "MEMBERS"], ["EMPNO"])
+    members = result[0]["PROJECTS"][0]["MEMBERS"]
+    assert members.schema.attribute_names == ("EMPNO",)
+    assert members.column("EMPNO") == [39582, 56019, 69011]
+
+
+def test_unnest_at_flattens_members_within_departments():
+    """Flatten MEMBERS into PROJECTS per department: each department then
+    holds a flat PROJECTS subtable with one row per member."""
+    result = unnest_at(departments(), ["PROJECTS"], "MEMBERS")
+    by_dno = {row["DNO"]: row for row in result}
+    projects_314 = by_dno[314]["PROJECTS"]
+    assert projects_314.schema.attribute_names == (
+        "PNO", "PNAME", "EMPNO", "FUNCTION",
+    )
+    assert len(projects_314) == 7
+    # top level untouched
+    assert len(result) == 3
+
+
+def test_nest_at_regroups_members_by_function():
+    flat = unnest_at(departments(), ["PROJECTS"], "MEMBERS")
+    regrouped = nest_at(
+        flat, ["PROJECTS"], ["PNO", "PNAME", "EMPNO"], "WHO"
+    )
+    by_dno = {row["DNO"]: row for row in regrouped}
+    functions = by_dno[314]["PROJECTS"].column("FUNCTION")
+    assert sorted(set(functions)) == ["Consultant", "Leader", "Secretary", "Staff"]
+
+
+def test_apply_at_preserves_empty_subtables():
+    rows = [dict(paper.DEPARTMENTS_ROWS[0], PROJECTS=[])]
+    table = TableValue.from_plain(paper.DEPARTMENTS_SCHEMA, rows)
+    result = select_at(table, ["PROJECTS", "MEMBERS"], lambda m: True)
+    assert len(result[0]["PROJECTS"]) == 0
+
+
+def test_apply_at_rejects_atomic_path():
+    with pytest.raises(SchemaError):
+        select_at(departments(), ["DNO"], lambda r: True)
+
+
+def test_recursive_equals_manual_composition():
+    """unnest_at over PROJECTS == unnesting each department's PROJECTS by
+    hand."""
+    recursive = unnest_at(departments(), ["PROJECTS"], "MEMBERS")
+    for row, original in zip(recursive, departments()):
+        manual = unnest(original["PROJECTS"], "MEMBERS")
+        assert row["PROJECTS"].canonical()[1:] == manual.canonical()[1:]
+
+
+@given(keep=st.sampled_from(["Leader", "Consultant", "Secretary", "Staff"]))
+@settings(max_examples=8, deadline=None)
+def test_property_select_at_is_sound_and_complete(keep):
+    result = select_at(
+        departments(), ["PROJECTS", "MEMBERS"],
+        lambda m: m["FUNCTION"] == keep,
+    )
+    kept = [
+        (p["PNO"], m["EMPNO"])
+        for d in result for p in d["PROJECTS"] for m in p["MEMBERS"]
+    ]
+    expected = [
+        (p["PNO"], m["EMPNO"])
+        for d in paper.DEPARTMENTS_ROWS
+        for p in d["PROJECTS"]
+        for m in p["MEMBERS"]
+        if m["FUNCTION"] == keep
+    ]
+    assert sorted(kept) == sorted(expected)

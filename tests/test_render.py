@@ -1,0 +1,54 @@
+"""Tests for the paper-style ASCII table renderer."""
+
+from repro.datasets import paper
+from repro.model.values import TableValue
+from repro.render import format_atom, render_schema_tree, render_table
+
+
+def test_render_flat_table():
+    text = render_table(paper.departments_1nf())
+    assert "{ DEPARTMENTS-1NF }" in text
+    assert "314" in text and "320000" in text
+    # grid lines present
+    assert text.count("+") > 4
+
+
+def test_render_nested_table_contains_inner_grid():
+    text = render_table(paper.departments())
+    assert "{ PROJECTS }" in text
+    assert "{ MEMBERS }" in text
+    assert "Consultant" in text
+
+
+def test_render_ordered_table_uses_angle_brackets():
+    reports = paper.reports()
+    text = render_table(reports)
+    assert "< AUTHORS >" in text
+    assert "{ DESCRIPTORS }" in text
+
+
+def test_render_empty_table():
+    empty = TableValue(paper.EQUIP_SCHEMA)
+    text = render_table(empty)
+    assert "QU" in text and "TYPE" in text
+
+
+def test_format_atom():
+    import datetime
+
+    assert format_atom(None) == "-"
+    assert format_atom(True) == "true"
+    assert format_atom(3.0) == "3"
+    assert format_atom(3.5) == "3.5"
+    assert format_atom(datetime.date(1984, 1, 15)) == "1984-01-15"
+
+
+def test_render_schema_tree_shows_hierarchy():
+    text = render_schema_tree(paper.DEPARTMENTS_SCHEMA)
+    lines = text.splitlines()
+    assert lines[0].startswith("DEPARTMENTS")
+    assert any("MEMBERS" in line for line in lines)
+    # MEMBERS is indented deeper than PROJECTS
+    projects_indent = next(l for l in lines if "PROJECTS" in l).index("P")
+    members_indent = next(l for l in lines if "MEMBERS" in l).index("M")
+    assert members_indent > projects_indent

@@ -1,0 +1,94 @@
+"""Tests for the interactive shell's statement / dot-command handling."""
+
+import io
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.shell import dot_command, execute_line, run_script
+
+
+def make_db():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+    return db
+
+
+def test_execute_query_prints_table():
+    db = make_db()
+    out = io.StringIO()
+    execute_line(db, "SELECT x.DNO FROM x IN DEPARTMENTS", out=out)
+    text = out.getvalue()
+    assert "314" in text and "(3 tuples)" in text
+
+
+def test_execute_dml_prints_count():
+    db = make_db()
+    out = io.StringIO()
+    execute_line(db, "DELETE FROM DEPARTMENTS x WHERE x.DNO = 218", out=out)
+    assert "1 tuple affected" in out.getvalue()
+
+
+def test_execute_error_is_reported_not_raised():
+    db = make_db()
+    out = io.StringIO()
+    execute_line(db, "SELECT x.NOPE FROM x IN DEPARTMENTS", out=out)
+    assert "error:" in out.getvalue()
+    execute_line(db, "THIS IS NOT SQL", out=out)
+    assert "error:" in out.getvalue()
+
+
+def test_dot_tables_and_schema():
+    db = make_db()
+    out = io.StringIO()
+    assert dot_command(db, ".tables", out=out)
+    assert "DEPARTMENTS" in out.getvalue() and "NF2" in out.getvalue()
+    out = io.StringIO()
+    dot_command(db, ".schema DEPARTMENTS", out=out)
+    assert "CREATE TABLE DEPARTMENTS" in out.getvalue()
+    out = io.StringIO()
+    dot_command(db, ".schema NOPE", out=out)
+    assert "error" in out.getvalue()
+
+
+def test_dot_indexes_and_stats():
+    db = make_db()
+    db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    out = io.StringIO()
+    dot_command(db, ".indexes", out=out)
+    assert "FN ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)" in out.getvalue()
+    out = io.StringIO()
+    dot_command(db, ".stats", out=out)
+    assert "logical_reads" in out.getvalue()
+
+
+def test_dot_quit_and_unknown():
+    db = make_db()
+    out = io.StringIO()
+    assert not dot_command(db, ".quit", out=out)
+    assert dot_command(db, ".nonsense", out=out)
+    assert "unknown command" in out.getvalue()
+
+
+def test_run_script_multiple_statements():
+    db = Database()
+    out = io.StringIO()
+    run_script(
+        db,
+        """
+        CREATE TABLE T (A INT, S TABLE OF (B INT));
+        INSERT INTO T VALUES (1, {(10), (20)});
+        SELECT t.A, SUM(t.S.B) AS TOTAL FROM t IN T;
+        """,
+        out=out,
+    )
+    text = out.getvalue()
+    assert "ok" in text
+    assert "30" in text  # the SUM
+
+
+def test_save_on_memory_database_reports_error():
+    db = Database()
+    out = io.StringIO()
+    dot_command(db, ".save", out=out)
+    assert "error" in out.getvalue()

@@ -1,0 +1,168 @@
+"""A soak test: a long seeded sequence of mixed operations against one
+database, with a shadow model and a final consistency check.
+
+This is the closest thing to running the prototype "extensively ... in a
+collaboration" (Section 5): every operation the library offers, randomly
+interleaved, must keep queries answerable and the storage consistent.
+"""
+
+import random
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.model.values import TableValue
+
+
+FUNCTIONS = ["Leader", "Consultant", "Secretary", "Staff"]
+
+
+def test_soak_mixed_operations():
+    rng = random.Random(20250707)
+    db = Database(buffer_capacity=128)  # small pool: exercise eviction
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    db.create_index("DNO", "DEPARTMENTS", "DNO")
+
+    #: shadow model: DNO -> plain nested dict
+    shadow: dict[int, dict] = {}
+    tids: dict[int, object] = {}
+    next_dno = 1000
+    next_empno = 1
+
+    def random_department():
+        nonlocal next_dno, next_empno
+        dno = next_dno
+        next_dno += 1
+        projects = []
+        for p in range(rng.randint(0, 3)):
+            members = []
+            for _m in range(rng.randint(0, 4)):
+                members.append(
+                    {"EMPNO": next_empno, "FUNCTION": rng.choice(FUNCTIONS)}
+                )
+                next_empno += 1
+            projects.append({"PNO": p, "PNAME": f"P{dno}-{p}", "MEMBERS": members})
+        return {
+            "DNO": dno, "MGRNO": rng.randint(1, 99),
+            "BUDGET": rng.randrange(0, 10**6, 1000),
+            "PROJECTS": projects,
+            "EQUIP": [
+                {"QU": rng.randint(1, 9), "TYPE": rng.choice("ABC")}
+                for _ in range(rng.randint(0, 3))
+            ],
+        }
+
+    for step in range(300):
+        action = rng.random()
+        if action < 0.35 or not shadow:
+            dept = random_department()
+            tids[dept["DNO"]] = db.insert("DEPARTMENTS", dept)
+            shadow[dept["DNO"]] = dept
+        elif action < 0.55:
+            dno = rng.choice(list(shadow))
+            budget = rng.randrange(0, 10**6, 500)
+            db.update("DEPARTMENTS", tids[dno], {"BUDGET": budget})
+            shadow[dno]["BUDGET"] = budget
+        elif action < 0.70:
+            dno = rng.choice(list(shadow))
+            member = {"EMPNO": next_empno, "FUNCTION": rng.choice(FUNCTIONS)}
+            next_empno += 1
+            if shadow[dno]["PROJECTS"]:
+                index = rng.randrange(len(shadow[dno]["PROJECTS"]))
+                db.update(
+                    "DEPARTMENTS", tids[dno],
+                    lambda obj, i=index, m=member: obj.insert_element(
+                        [("PROJECTS", i)], "MEMBERS", m
+                    ),
+                )
+                shadow[dno]["PROJECTS"][index]["MEMBERS"].append(member)
+        elif action < 0.85:
+            dno = rng.choice(list(shadow))
+            projects = shadow[dno]["PROJECTS"]
+            candidates = [
+                (pi, mi)
+                for pi, p in enumerate(projects)
+                for mi in range(len(p["MEMBERS"]))
+            ]
+            if candidates:
+                pi, mi = rng.choice(candidates)
+                db.update(
+                    "DEPARTMENTS", tids[dno],
+                    lambda obj, pi=pi, mi=mi: obj.delete_element(
+                        [("PROJECTS", pi)], "MEMBERS", mi
+                    ),
+                )
+                projects[pi]["MEMBERS"].pop(mi)
+        else:
+            dno = rng.choice(list(shadow))
+            db.delete("DEPARTMENTS", tids.pop(dno))
+            del shadow[dno]
+
+        if step % 60 == 0:
+            # point query through the index must agree with the shadow
+            probe = rng.choice(list(shadow))
+            result = db.query(
+                f"SELECT x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = {probe}"
+            )
+            assert result.column("BUDGET") == [shadow[probe]["BUDGET"]]
+
+    # final: full contents equal the shadow model
+    expected = TableValue.from_plain(
+        paper.DEPARTMENTS_SCHEMA, list(shadow.values())
+    )
+    assert db.table_value("DEPARTMENTS") == expected
+    # indexes agree with a scan
+    for function in FUNCTIONS:
+        query = (
+            "SELECT x.DNO FROM x IN DEPARTMENTS "
+            "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+            f"z.FUNCTION = '{function}'"
+        )
+        indexed = sorted(db.query(query).column("DNO"))
+        db.use_access_paths = False
+        scanned = sorted(db.query(query).column("DNO"))
+        db.use_access_paths = True
+        assert indexed == scanned
+    # and the storage is structurally sound
+    assert db.verify() == []
+
+
+def test_soak_subtuple_versioned():
+    """The same style of churn on a subtuple-versioned table; every
+    historical snapshot must stay readable."""
+    rng = random.Random(7)
+    db = Database(buffer_capacity=256)
+    db.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True,
+                    versioning="subtuple")
+    tid = db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0], at=0)
+    snapshots = {0: db.table_value("DEPARTMENTS")}
+    for when in range(1, 40):
+        kind = rng.random()
+        if kind < 0.5:
+            db.update("DEPARTMENTS", tid,
+                      {"BUDGET": rng.randrange(0, 10**6, 100)}, at=when)
+        elif kind < 0.8:
+            db.update(
+                "DEPARTMENTS", tid,
+                lambda m, w=when: m.insert_element(
+                    [], "EQUIP", {"QU": w, "TYPE": f"T{w}"}
+                ),
+                at=when,
+            )
+        else:
+            equip_len = len(db.table_value("DEPARTMENTS")[0]["EQUIP"])
+            if equip_len:
+                db.update(
+                    "DEPARTMENTS", tid,
+                    lambda m, i=rng.randrange(equip_len): m.delete_element(
+                        [], "EQUIP", i
+                    ),
+                    at=when,
+                )
+        snapshots[when] = db.table_value("DEPARTMENTS")
+    # every epoch reconstructs exactly
+    entry = db.catalog.table("DEPARTMENTS")
+    for when, expected in snapshots.items():
+        got = TableValue(entry.schema)
+        got.rows.extend(db.iterate_table("DEPARTMENTS", asof=when))
+        assert got == expected, f"ASOF {when} diverged"

@@ -1,0 +1,222 @@
+"""Tests for paged files, the buffer manager, and segments."""
+
+import os
+
+import pytest
+
+from repro.errors import BufferError_, PageFullError, RecordNotFoundError, SegmentError
+from repro.storage.buffer import BufferManager
+from repro.storage.constants import PAGE_SIZE
+from repro.storage.pagedfile import DiskPagedFile, MemoryPagedFile
+from repro.storage.segment import Segment
+from repro.storage.tid import TID, MiniTID
+
+
+def make_segment(capacity=64):
+    buffer = BufferManager(MemoryPagedFile(), capacity=capacity)
+    return Segment(buffer)
+
+
+# -- paged files ---------------------------------------------------------------
+
+
+def test_memory_pagedfile_roundtrip():
+    file = MemoryPagedFile()
+    n = file.allocate_page()
+    file.write_page(n, b"\x07" * PAGE_SIZE)
+    assert bytes(file.read_page(n)) == b"\x07" * PAGE_SIZE
+    with pytest.raises(SegmentError):
+        file.read_page(99)
+
+
+def test_disk_pagedfile_roundtrip(tmp_path):
+    path = str(tmp_path / "data.db")
+    file = DiskPagedFile(path)
+    n0 = file.allocate_page()
+    n1 = file.allocate_page()
+    file.write_page(n0, b"\x01" * PAGE_SIZE)
+    file.write_page(n1, b"\x02" * PAGE_SIZE)
+    file.sync()
+    file.close()
+    # reopen and verify persistence
+    file2 = DiskPagedFile(path, create=False)
+    assert file2.page_count == 2
+    assert bytes(file2.read_page(n0)) == b"\x01" * PAGE_SIZE
+    assert bytes(file2.read_page(n1)) == b"\x02" * PAGE_SIZE
+    file2.close()
+
+
+# -- buffer manager ---------------------------------------------------------------
+
+
+def test_buffer_counts_logical_and_physical_reads():
+    file = MemoryPagedFile()
+    buffer = BufferManager(file, capacity=8)
+    n, page = buffer.new_page()
+    page.insert(b"x")
+    buffer.unpin(n, dirty=True)
+    buffer.stats.reset()
+    with buffer.page(n):
+        pass
+    with buffer.page(n):
+        pass
+    assert buffer.stats.logical_reads == 2
+    assert buffer.stats.physical_reads == 0  # cached
+    buffer.invalidate_cache()
+    buffer.stats.reset()
+    with buffer.page(n):
+        pass
+    assert buffer.stats.physical_reads == 1
+
+
+def test_buffer_eviction_writes_dirty_pages():
+    file = MemoryPagedFile()
+    buffer = BufferManager(file, capacity=2)
+    pages = []
+    for _ in range(4):
+        n, page = buffer.new_page()
+        page.insert(b"payload")
+        buffer.unpin(n, dirty=True)
+        pages.append(n)
+    assert buffer.stats.evictions >= 2
+    # evicted pages were written; re-reading sees the data
+    for n in pages:
+        with buffer.page(n) as page:
+            assert page.live_records == 1
+
+
+def test_buffer_refuses_to_evict_pinned():
+    file = MemoryPagedFile()
+    buffer = BufferManager(file, capacity=2)
+    n0, _ = buffer.new_page()
+    n1, _ = buffer.new_page()
+    with pytest.raises(BufferError_):
+        buffer.new_page()
+    buffer.unpin(n0)
+    buffer.unpin(n1)
+
+
+def test_unpin_unpinned_raises():
+    file = MemoryPagedFile()
+    buffer = BufferManager(file, capacity=4)
+    n, _ = buffer.new_page()
+    buffer.unpin(n, dirty=True)
+    with pytest.raises(BufferError_):
+        buffer.unpin(n)
+
+
+def test_flush_all_persists(tmp_path):
+    path = str(tmp_path / "flush.db")
+    file = DiskPagedFile(path)
+    buffer = BufferManager(file, capacity=4)
+    n, page = buffer.new_page()
+    page.insert(b"durable")
+    buffer.unpin(n, dirty=True)
+    buffer.flush_all()
+    file.close()
+    file2 = DiskPagedFile(path, create=False)
+    buffer2 = BufferManager(file2, capacity=4)
+    with buffer2.page(n) as page:
+        assert page.read(0)[1] == b"durable"
+    file2.close()
+
+
+def test_pages_touched_metric():
+    segment = make_segment()
+    tids = [segment.insert_record(b"x" * 1500) for _ in range(6)]
+    segment.buffer.stats.reset()
+    for tid in tids:
+        segment.read_record(tid)
+    distinct = segment.buffer.stats.snapshot()["distinct_pages"]
+    assert distinct == len({t.page for t in tids})
+
+
+# -- segments ----------------------------------------------------------------------
+
+
+def test_segment_insert_read_update_delete():
+    segment = make_segment()
+    tid = segment.insert_record(b"v1")
+    assert segment.read_record(tid) == b"v1"
+    segment.update_record(tid, b"v2-longer")
+    assert segment.read_record(tid) == b"v2-longer"
+    segment.delete_record(tid)
+    with pytest.raises(RecordNotFoundError):
+        segment.read_record(tid)
+
+
+def test_segment_forwarding_keeps_tid_stable():
+    segment = make_segment()
+    tid = segment.insert_record(b"small")
+    # fill the home page so the grown record cannot stay
+    while segment.free_space_on(tid.page) > 600:
+        segment.insert_record_on(tid.page, b"f" * 500)
+    segment.update_record(tid, b"G" * 1000)
+    assert segment.read_record(tid) == b"G" * 1000  # same TID
+    # update again while forwarded (in place at the remote)
+    segment.update_record(tid, b"H" * 1000)
+    assert segment.read_record(tid) == b"H" * 1000
+    # grow beyond the remote page too
+    segment.update_record(tid, b"I" * 3500)
+    assert segment.read_record(tid) == b"I" * 3500
+    segment.delete_record(tid)
+    with pytest.raises(RecordNotFoundError):
+        segment.read_record(tid)
+
+
+def test_segment_scan_sees_forwarded_once():
+    segment = make_segment()
+    tid = segment.insert_record(b"base")
+    while segment.free_space_on(tid.page) > 600:
+        segment.insert_record_on(tid.page, b"f" * 500)
+    segment.update_record(tid, b"M" * 2000)
+    records = dict(segment.scan())
+    assert records[tid] == b"M" * 2000
+    assert list(records.values()).count(b"M" * 2000) == 1
+
+
+def test_segment_preferred_pages_cluster():
+    segment = make_segment()
+    home = segment.allocate_page()
+    tids = [segment.insert_record(b"c" * 100, preferred_pages=[home]) for _ in range(5)]
+    assert all(t.page == home for t in tids)
+
+
+def test_segment_preferred_page_overflow_allocates():
+    segment = make_segment()
+    home = segment.allocate_page()
+    tids = [segment.insert_record(b"c" * 1000, preferred_pages=[home]) for _ in range(10)]
+    pages = {t.page for t in tids}
+    assert home in pages and len(pages) > 1
+
+
+def test_segment_page_recycling():
+    segment = make_segment()
+    first = segment.allocate_page()
+    segment.free_page(first)
+    second = segment.allocate_page()
+    assert second == first  # recycled
+    with pytest.raises(SegmentError):
+        segment.free_page(12345)
+
+
+def test_segment_state_restore_roundtrip():
+    segment = make_segment()
+    tid = segment.insert_record(b"persist me")
+    state = segment.state()
+    restored = Segment.restore(segment.buffer, state)
+    assert restored.read_record(tid) == b"persist me"
+    assert restored.pages == segment.pages
+
+
+def test_insert_record_on_full_page_raises():
+    from repro.errors import RecordTooLargeError
+
+    segment = make_segment()
+    page = segment.allocate_page()
+    with pytest.raises(RecordTooLargeError):
+        segment.insert_record_on(page, b"x" * 5000)
+    # a payload that fits a page but not this one raises PageFullError
+    segment.insert_record_on(page, b"y" * 3000)
+    with pytest.raises(PageFullError):
+        segment.insert_record_on(page, b"z" * 2000)

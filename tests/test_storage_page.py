@@ -1,0 +1,183 @@
+"""Unit + property tests for slotted pages."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageFullError, RecordNotFoundError, RecordTooLargeError
+from repro.storage.constants import FLAG_NORMAL, FLAG_FORWARD, PAGE_SIZE
+from repro.storage.page import Page
+
+
+def make_page() -> Page:
+    return Page.format()
+
+
+def test_insert_and_read():
+    page = make_page()
+    slot = page.insert(b"hello")
+    flag, payload = page.read(slot)
+    assert flag == FLAG_NORMAL
+    assert payload == b"hello"
+
+
+def test_insert_with_flag():
+    page = make_page()
+    slot = page.insert(b"fwd", flag=FLAG_FORWARD)
+    flag, _payload = page.read(slot)
+    assert flag == FLAG_FORWARD
+
+
+def test_slots_are_sequential_then_reused():
+    page = make_page()
+    s0 = page.insert(b"a")
+    s1 = page.insert(b"b")
+    assert (s0, s1) == (0, 1)
+    page.delete(s0)
+    s2 = page.insert(b"c")
+    assert s2 == 0  # freed slot reused
+
+
+def test_slot_numbers_stable_across_deletes():
+    page = make_page()
+    slots = [page.insert(bytes([i]) * 10) for i in range(5)]
+    page.delete(slots[1])
+    page.delete(slots[3])
+    for keep in (0, 2, 4):
+        _flag, payload = page.read(slots[keep])
+        assert payload == bytes([keep]) * 10
+
+
+def test_read_deleted_slot_raises():
+    page = make_page()
+    slot = page.insert(b"x")
+    page.delete(slot)
+    with pytest.raises(RecordNotFoundError):
+        page.read(slot)
+    with pytest.raises(RecordNotFoundError):
+        page.delete(slot)
+
+
+def test_read_out_of_range_raises():
+    page = make_page()
+    with pytest.raises(RecordNotFoundError):
+        page.read(3)
+
+
+def test_update_in_place_same_size():
+    page = make_page()
+    slot = page.insert(b"aaaa")
+    page.update(slot, b"bbbb")
+    assert page.read(slot)[1] == b"bbbb"
+
+
+def test_update_shrink_and_grow():
+    page = make_page()
+    slot = page.insert(b"a" * 100)
+    other = page.insert(b"z" * 50)
+    page.update(slot, b"b" * 10)
+    assert page.read(slot)[1] == b"b" * 10
+    page.update(slot, b"c" * 200)
+    assert page.read(slot)[1] == b"c" * 200
+    assert page.read(other)[1] == b"z" * 50
+
+
+def test_update_too_large_raises_and_preserves():
+    page = make_page()
+    slot = page.insert(b"small")
+    filler = page.insert(b"f" * 3000)
+    with pytest.raises(PageFullError):
+        page.update(slot, b"g" * 2000)
+    # record untouched after the failed update
+    assert page.read(slot)[1] == b"small"
+    assert page.read(filler)[1] == b"f" * 3000
+
+
+def test_record_too_large_rejected():
+    page = make_page()
+    with pytest.raises(RecordTooLargeError):
+        page.insert(b"x" * PAGE_SIZE)
+
+
+def test_page_full():
+    page = make_page()
+    inserted = 0
+    with pytest.raises(PageFullError):
+        while True:
+            page.insert(b"y" * 100)
+            inserted += 1
+    assert inserted >= 35  # ~4k / 105
+
+
+def test_compaction_reclaims_space():
+    page = make_page()
+    slots = [page.insert(b"x" * 200) for i in range(15)]
+    for slot in slots[:-1]:
+        page.delete(slot)
+    # contiguous space is fragmented; this insert forces compaction
+    big = page.insert(b"B" * 3000)
+    assert page.read(big)[1] == b"B" * 3000
+    assert page.read(slots[-1])[1] == b"x" * 200
+
+
+def test_live_records_accounting():
+    page = make_page()
+    slots = [page.insert(b"r") for _ in range(4)]
+    assert page.live_records == 4
+    page.delete(slots[0])
+    assert page.live_records == 3
+
+
+def test_slots_iterator_skips_deleted():
+    page = make_page()
+    keep = page.insert(b"keep")
+    drop = page.insert(b"drop")
+    page.delete(drop)
+    entries = list(page.slots())
+    assert [(s, p) for s, _f, p in entries] == [(keep, b"keep")]
+
+
+def test_free_space_monotone():
+    page = make_page()
+    before = page.free_space
+    slot = page.insert(b"x" * 64)
+    assert page.free_space < before
+    page.delete(slot)
+    assert page.free_space == before or page.free_space == before  # reclaimable
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "delete", "update"]),
+                  st.binary(min_size=0, max_size=300)),
+        max_size=60,
+    )
+)
+@settings(max_examples=60)
+def test_property_page_model_conformance(operations):
+    """The page behaves like a dict {slot: payload} under random ops."""
+    page = make_page()
+    model: dict[int, bytes] = {}
+    for op, payload in operations:
+        if op == "insert":
+            try:
+                slot = page.insert(payload)
+            except PageFullError:
+                continue
+            assert slot not in model
+            model[slot] = payload
+        elif op == "delete" and model:
+            slot = sorted(model)[0]
+            page.delete(slot)
+            del model[slot]
+        elif op == "update" and model:
+            slot = sorted(model)[-1]
+            try:
+                page.update(slot, payload)
+            except PageFullError:
+                continue
+            model[slot] = payload
+    for slot, expected in model.items():
+        _flag, actual = page.read(slot)
+        assert actual == expected
+    assert page.live_records == len(model)

@@ -1,0 +1,100 @@
+"""Tests for the MD/data page-pool separation and MD rendering."""
+
+import pytest
+
+from repro.datasets import DepartmentsGenerator, paper
+from repro.model.values import TupleValue
+from repro.storage.address_space import DATA_POOL, MD_POOL, LocalAddressSpace
+from repro.storage.buffer import BufferManager
+from repro.storage.complex_object import ComplexObjectManager
+from repro.storage.mdrender import md_statistics_row, render_mini_directory
+from repro.storage.minidirectory import StorageStructure
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+from repro.storage.subtuple import KIND_DATA, KIND_MD, subtuple_kind
+
+
+def make_space():
+    segment = Segment(BufferManager(MemoryPagedFile(), capacity=64))
+    return LocalAddressSpace(segment)
+
+
+def test_pools_use_disjoint_pages():
+    space = make_space()
+    data_minis = [space.insert(b"\xd1data" + bytes([i])) for i in range(5)]
+    md_minis = [space.insert(b"\xe1md" + bytes([i]), pool=MD_POOL) for i in range(5)]
+    data_pages = {space.translate(m).page for m in data_minis}
+    md_pages = {space.translate(m).page for m in md_minis}
+    assert data_pages.isdisjoint(md_pages)
+    assert set(space.pages_of(DATA_POOL)) == data_pages
+    assert set(space.pages_of(MD_POOL)) == md_pages
+
+
+def test_pool_respected_on_forwarded_update():
+    space = make_space()
+    mini = space.insert(b"\xe1small", pool=MD_POOL)
+    # fill the MD page so the grown record must move
+    fillers = [space.insert(b"\xe1" + b"f" * 500, pool=MD_POOL) for _ in range(7)]
+    space.update(mini, b"\xe1" + b"G" * 1200)
+    assert space.read(mini) == b"\xe1" + b"G" * 1200
+    # the relocated body stayed in the MD pool
+    md_pages = set(space.pages_of(MD_POOL))
+    data_pages = set(space.pages_of(DATA_POOL))
+    assert not data_pages  # nothing leaked into the data pool
+
+
+def test_stored_object_pages_hold_one_kind_each():
+    buffer = BufferManager(MemoryPagedFile(), capacity=256)
+    manager = ComplexObjectManager(Segment(buffer), StorageStructure.SS3)
+    gen = DepartmentsGenerator(departments=1, projects_per_department=6,
+                               members_per_project=20)
+    value = TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, gen.rows()[0])
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, value)
+    obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+    for page_no, is_md in zip(obj.space.page_list, obj.space.page_roles):
+        if page_no is None:
+            continue
+        page = buffer.fetch(page_no)
+        try:
+            kinds = {subtuple_kind(payload) for _s, _f, payload in page.slots()}
+        finally:
+            buffer.unpin(page_no)
+        if is_md:
+            assert KIND_DATA not in kinds
+        else:
+            assert kinds <= {KIND_DATA}
+
+
+def test_gap_reuse_may_change_pool():
+    space = make_space()
+    mini = space.insert(b"\xd1victim")
+    victim_page = space.translate(mini).page
+    space.delete(mini)  # page empties -> gap
+    assert None in space.page_list
+    new = space.insert(b"\xe1newcomer", pool=MD_POOL)
+    # the gap was reused and its role updated
+    assert space.page_list[new.local_page] is not None
+    assert space.page_roles[new.local_page] is MD_POOL
+
+
+# -- MD rendering ----------------------------------------------------------------
+
+
+def test_render_mini_directory_all_structures():
+    for structure in StorageStructure:
+        buffer = BufferManager(MemoryPagedFile(), capacity=64)
+        manager = ComplexObjectManager(Segment(buffer), structure)
+        root = manager.store(
+            paper.DEPARTMENTS_SCHEMA,
+            TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, paper.DEPARTMENTS_ROWS[0]),
+        )
+        text = render_mini_directory(manager, root, paper.DEPARTMENTS_SCHEMA)
+        assert f"structure={structure.value}" in text
+        assert "(314 56194 320000)" in text
+        assert "(56019 Consultant)" in text
+        if structure is StorageStructure.SS2:
+            assert "(no MD subtuple)" in text
+        else:
+            assert "[MD subtable PROJECTS" in text
+        stats = md_statistics_row(manager, root, paper.DEPARTMENTS_SCHEMA)
+        assert "MD subtuples" in stats

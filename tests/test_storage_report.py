@@ -1,0 +1,58 @@
+"""Tests for Database.storage_report and the shell's .storage/.verify."""
+
+import io
+
+from repro.database import Database
+from repro.datasets import DepartmentsGenerator, paper
+from repro.shell import dot_command
+
+
+def test_storage_report_shape(paper_db):
+    report = paper_db.storage_report()
+    assert report["total_pages"] > 0
+    departments = report["tables"]["DEPARTMENTS"]
+    assert departments["kind"] == "NF2"
+    assert departments["tuples"] == 3
+    assert departments["md_pages"] >= 1
+    assert departments["data_pages"] >= 1
+    # SS3: dept 314 has 5 MD subtuples (2 projects), 218 and 417 have 4 each
+    assert departments["md_subtuples"] == 13
+    employees = report["tables"]["EMPLOYEES-1NF"]
+    assert employees["kind"] == "1NF"
+    assert employees["tuples"] == 20
+    assert 0 < employees["fill_factor"] <= 1
+
+
+def test_storage_report_scales_with_data():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    small = db.storage_report()["total_pages"]
+    db.insert_many(
+        "DEPARTMENTS",
+        DepartmentsGenerator(departments=20, projects_per_department=4,
+                             members_per_project=10).rows(),
+    )
+    large = db.storage_report()
+    assert large["total_pages"] > small
+    assert large["tables"]["DEPARTMENTS"]["pages"] > 2
+
+
+def test_storage_report_subtuple_versioned():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True,
+                    versioning="subtuple")
+    tid = db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0], at=1)
+    db.update("DEPARTMENTS", tid, {"BUDGET": 5}, at=2)
+    report = db.storage_report()["tables"]["DEPARTMENTS"]
+    assert report["tuples"] == 1
+    assert "md_pages" in report
+
+
+def test_shell_storage_and_verify(paper_db):
+    out = io.StringIO()
+    dot_command(paper_db, ".storage", out=out)
+    text = out.getvalue()
+    assert "DEPARTMENTS" in text and "MD" in text
+    out = io.StringIO()
+    dot_command(paper_db, ".verify", out=out)
+    assert "consistent" in out.getvalue()

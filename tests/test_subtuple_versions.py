@@ -1,0 +1,293 @@
+"""Tests for subtuple-level time versioning (the paper's temporal
+architecture: versions kept by the subtuple manager)."""
+
+import datetime
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.errors import TemporalError
+from repro.model.values import TupleValue
+from repro.storage.buffer import BufferManager
+from repro.storage.minidirectory import StorageStructure
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+from repro.storage.subtuple import decode_data_subtuple
+from repro.temporal.subtuple_versions import (
+    TemporalObjectManager,
+    VersionEntry,
+    decode_temporal_root,
+    encode_temporal_root,
+)
+from repro.storage.tid import MiniTID
+
+
+def make_manager(structure=StorageStructure.SS3):
+    buffer = BufferManager(MemoryPagedFile(), capacity=512)
+    return TemporalObjectManager(Segment(buffer), structure)
+
+
+def dept_value():
+    return TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, paper.DEPARTMENTS_ROWS[0])
+
+
+def test_temporal_root_codec_roundtrip():
+    entries = [
+        VersionEntry(MiniTID(0, 3), 1.0, 2.5, MiniTID(1, 0)),
+        VersionEntry(None, 2.5, 7.0, MiniTID(1, 1)),
+    ]
+    payload = encode_temporal_root(
+        1.0, float("inf"), entries, [4, None, 9], [True, False, False], [[]],
+    )
+    created, deleted, decoded_entries, pages, roles, groups = (
+        decode_temporal_root(payload)
+    )
+    assert created == 1.0 and deleted == float("inf")
+    assert decoded_entries == entries
+    assert pages == [4, None, 9]
+    assert roles[0] is True
+
+
+@pytest.mark.parametrize("structure", list(StorageStructure))
+def test_store_and_load_current(structure):
+    manager = make_manager(structure)
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    assert manager.load(root, paper.DEPARTMENTS_SCHEMA) == dept_value()
+    assert manager.exists_at(root, 10)
+    assert not manager.exists_at(root, 9)
+
+
+@pytest.mark.parametrize("structure", list(StorageStructure))
+def test_atomic_update_versions_one_subtuple(structure):
+    manager = make_manager(structure)
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    manager.update_atoms(root, paper.DEPARTMENTS_SCHEMA, [], {"BUDGET": 1}, at=20)
+    manager.update_atoms(root, paper.DEPARTMENTS_SCHEMA, [], {"BUDGET": 2}, at=30)
+    # current
+    assert manager.load(root, paper.DEPARTMENTS_SCHEMA)["BUDGET"] == 2
+    # history at every epoch
+    assert manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 15)["BUDGET"] == 320_000
+    assert manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 20)["BUDGET"] == 1
+    assert manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 29)["BUDGET"] == 1
+    assert manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 30)["BUDGET"] == 2
+    # only two version entries exist — one per superseded data subtuple
+    stats = manager.version_statistics(root)
+    assert stats["version_entries"] == 2
+    # the rest of the object is untouched by history
+    old = manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 15)
+    assert old["PROJECTS"] == dept_value()["PROJECTS"]
+
+
+def test_nested_atomic_update_asof():
+    manager = make_manager()
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    manager.update_atoms(
+        root, paper.DEPARTMENTS_SCHEMA,
+        [("PROJECTS", 0), ("MEMBERS", 1)], {"FUNCTION": "Leader"}, at=20,
+    )
+    old = manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 15)
+    assert old["PROJECTS"][0]["MEMBERS"][1]["FUNCTION"] == "Consultant"
+    new = manager.load(root, paper.DEPARTMENTS_SCHEMA)
+    assert new["PROJECTS"][0]["MEMBERS"][1]["FUNCTION"] == "Leader"
+
+
+def test_noop_update_creates_no_version():
+    manager = make_manager()
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    manager.update_atoms(root, paper.DEPARTMENTS_SCHEMA, [], {"BUDGET": 320_000}, at=20)
+    assert manager.version_statistics(root)["version_entries"] == 0
+
+
+@pytest.mark.parametrize("structure", list(StorageStructure))
+def test_structural_insert_asof(structure):
+    manager = make_manager(structure)
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    manager.insert_element(
+        root, paper.DEPARTMENTS_SCHEMA, [], "PROJECTS",
+        {"PNO": 29, "PNAME": "ROBO", "MEMBERS": [{"EMPNO": 1, "FUNCTION": "Leader"}]},
+        at=20,
+    )
+    old = manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 15)
+    assert sorted(old["PROJECTS"].column("PNO")) == [17, 23]
+    new = manager.load(root, paper.DEPARTMENTS_SCHEMA)
+    assert sorted(new["PROJECTS"].column("PNO")) == [17, 23, 29]
+
+
+@pytest.mark.parametrize("structure", list(StorageStructure))
+def test_structural_delete_keeps_history(structure):
+    manager = make_manager(structure)
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    manager.delete_element(
+        root, paper.DEPARTMENTS_SCHEMA, [], "PROJECTS", 1, at=20
+    )
+    old = manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 15)
+    assert sorted(old["PROJECTS"].column("PNO")) == [17, 23]
+    assert len(old["PROJECTS"][1]["MEMBERS"]) == 4  # HEAR's members intact
+    new = manager.load(root, paper.DEPARTMENTS_SCHEMA)
+    assert new["PROJECTS"].column("PNO") == [17]
+
+
+def test_mixed_edit_sequence_all_epochs():
+    manager = make_manager()
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    manager.update_atoms(root, paper.DEPARTMENTS_SCHEMA, [], {"BUDGET": 1}, at=20)
+    manager.insert_element(
+        root, paper.DEPARTMENTS_SCHEMA, [("PROJECTS", 0)], "MEMBERS",
+        {"EMPNO": 777, "FUNCTION": "Staff"}, at=30,
+    )
+    manager.update_atoms(
+        root, paper.DEPARTMENTS_SCHEMA, [("PROJECTS", 0)], {"PNAME": "CGA2"}, at=40,
+    )
+    manager.delete_element(root, paper.DEPARTMENTS_SCHEMA, [], "EQUIP", 0, at=50)
+
+    at15 = manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 15)
+    assert at15 == dept_value()
+    at25 = manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 25)
+    assert at25["BUDGET"] == 1
+    assert len(at25["PROJECTS"][0]["MEMBERS"]) == 3
+    at35 = manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 35)
+    assert 777 in at35["PROJECTS"][0]["MEMBERS"].column("EMPNO")
+    assert at35["PROJECTS"][0]["PNAME"] == "CGA"
+    at45 = manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 45)
+    assert at45["PROJECTS"][0]["PNAME"] == "CGA2"
+    assert len(at45["EQUIP"]) == 3
+    now = manager.load(root, paper.DEPARTMENTS_SCHEMA)
+    assert len(now["EQUIP"]) == 2
+
+
+def test_object_deletion_is_logical():
+    manager = make_manager()
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    manager.delete_object(root, paper.DEPARTMENTS_SCHEMA, at=20)
+    assert not manager.exists_at(root, 20)
+    assert manager.exists_at(root, 15)
+    assert manager.load_asof(root, paper.DEPARTMENTS_SCHEMA, 15) == dept_value()
+    with pytest.raises(TemporalError):
+        manager.load(root, paper.DEPARTMENTS_SCHEMA)
+    with pytest.raises(TemporalError):
+        manager.update_atoms(root, paper.DEPARTMENTS_SCHEMA, [], {"BUDGET": 9}, at=30)
+
+
+def test_historical_views_are_read_only():
+    manager = make_manager()
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    manager.update_atoms(root, paper.DEPARTMENTS_SCHEMA, [], {"BUDGET": 1}, at=20)
+    view = manager.open_asof(root, paper.DEPARTMENTS_SCHEMA, 15)
+    with pytest.raises(TemporalError):
+        view.update_atoms([], {"BUDGET": 5})
+
+
+def test_backwards_timestamps_rejected():
+    manager = make_manager()
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    manager.update_atoms(root, paper.DEPARTMENTS_SCHEMA, [], {"BUDGET": 1}, at=20)
+    with pytest.raises(TemporalError):
+        manager.update_atoms(root, paper.DEPARTMENTS_SCHEMA, [], {"BUDGET": 2}, at=15)
+
+
+def test_subtuple_history_walk():
+    manager = make_manager()
+    root = manager.store(paper.DEPARTMENTS_SCHEMA, dept_value(), at=10)
+    obj = manager.open_current(root, paper.DEPARTMENTS_SCHEMA)
+    key = obj.decoded.data  # the department's own data subtuple
+    manager.update_atoms(root, paper.DEPARTMENTS_SCHEMA, [], {"BUDGET": 1}, at=20)
+    manager.update_atoms(root, paper.DEPARTMENTS_SCHEMA, [], {"BUDGET": 2}, at=30)
+    history = manager.subtuple_history(root, key)
+    budgets = [
+        decode_data_subtuple(paper.DEPARTMENTS_SCHEMA.attributes, payload)[2]
+        for _f, _t, payload in history
+    ]
+    assert budgets == [320_000, 1, 2]
+    assert [(f, t) for f, t, _p in history] == [
+        (10.0, 20.0), (20.0, 30.0), (30.0, float("inf"))
+    ]
+
+
+# -- through the Database facade -------------------------------------------------
+
+
+def subtuple_db():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True, versioning="subtuple")
+    return db
+
+
+def test_database_asof_queries():
+    db = subtuple_db()
+    tid = db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0],
+                    at=datetime.date(1984, 1, 1))
+    db.update(
+        "DEPARTMENTS", tid,
+        lambda m: m.delete_element([], "PROJECTS", 1),
+        at=datetime.date(1984, 3, 1),
+    )
+    # the paper's ASOF query, over subtuple versions this time
+    old = db.query(
+        "SELECT y.PNO FROM x IN DEPARTMENTS ASOF '1984-01-15', "
+        "y IN x.PROJECTS WHERE x.DNO = 314"
+    )
+    assert sorted(old.column("PNO")) == [17, 23]
+    now = db.query(
+        "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE x.DNO = 314"
+    )
+    assert now.column("PNO") == [17]
+    # the same TID stayed current across the update (no object copy!)
+    assert db.tids("DEPARTMENTS") == [tid]
+
+
+def test_database_update_dict_and_indexes():
+    db = subtuple_db()
+    db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    tid = db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0], at=1)
+    db.update(
+        "DEPARTMENTS", tid,
+        lambda m: m.update_atoms([("PROJECTS", 0), ("MEMBERS", 1)],
+                                 {"FUNCTION": "Leader"}),
+        at=2,
+    )
+    index = db.catalog.index("FN")
+    assert index.search("Consultant") == []
+    result = db.query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+        "z.FUNCTION = 'Leader'"
+    )
+    assert result.column("DNO") == [314]
+
+
+def test_database_delete_keeps_asof():
+    db = subtuple_db()
+    tid = db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0], at=10)
+    db.delete("DEPARTMENTS", tid, at=20)
+    assert len(db.table_value("DEPARTMENTS")) == 0
+    asof = db.query("SELECT x.DNO FROM x IN DEPARTMENTS ASOF '0001-01-15'")
+    assert asof.column("DNO") == [314]
+
+
+def test_subtuple_versioning_rejected_for_flat_tables():
+    db = Database()
+    with pytest.raises(TemporalError):
+        db.create_table(
+            paper.EMPLOYEES_1NF_SCHEMA, versioned=True, versioning="subtuple"
+        )
+
+
+def test_persistence_of_subtuple_versions(tmp_path):
+    path = str(tmp_path / "temporal.db")
+    with Database(path=path) as db:
+        db.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True,
+                        versioning="subtuple")
+        tid = db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0],
+                        at=datetime.date(1984, 1, 1))
+        db.update("DEPARTMENTS", tid, {"BUDGET": 999},
+                  at=datetime.date(1984, 2, 1))
+        db.save()
+    with Database(path=path) as again:
+        old = again.query(
+            "SELECT x.BUDGET FROM x IN DEPARTMENTS ASOF '1984-01-15'"
+        )
+        assert old.column("BUDGET") == [320_000]
+        assert again.query(
+            "SELECT x.BUDGET FROM x IN DEPARTMENTS"
+        ).column("BUDGET") == [999]

@@ -1,0 +1,86 @@
+"""Tests for the time-version support."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.storage.tid import TID
+from repro.temporal.versions import VersionStore, canonical_timestamp
+
+
+def test_canonical_timestamps():
+    assert canonical_timestamp(5) == 5.0
+    assert canonical_timestamp(datetime.date(1984, 1, 15)) == float(
+        datetime.date(1984, 1, 15).toordinal()
+    )
+    with pytest.raises(TemporalError):
+        canonical_timestamp("yesterday")
+    with pytest.raises(TemporalError):
+        canonical_timestamp(True)
+
+
+def test_insert_update_delete_chain():
+    store = VersionStore()
+    t1, t2, t3 = TID(1, 0), TID(2, 0), TID(3, 0)
+    oid = store.record_insert(t1, at=10)
+    assert store.current_roots() == [t1]
+    store.record_update(oid, t2, at=20)
+    assert store.current_roots() == [t2]
+    store.record_delete(oid, at=30)
+    assert store.current_roots() == []
+    # ASOF reconstruction at every epoch
+    assert store.roots_asof(5) == []
+    assert store.roots_asof(10) == [t1]
+    assert store.roots_asof(15) == [t1]
+    assert store.roots_asof(20) == [t2]
+    assert store.roots_asof(29) == [t2]
+    assert store.roots_asof(30) == []
+    assert store.version_count == 2
+    assert set(store.all_roots_ever()) == {t1, t2}
+
+
+def test_asof_with_dates():
+    store = VersionStore()
+    old = TID(1, 0)
+    new = TID(2, 0)
+    oid = store.record_insert(old, at=datetime.date(1984, 1, 1))
+    store.record_update(oid, new, at=datetime.date(1984, 2, 1))
+    assert store.roots_asof(datetime.date(1984, 1, 15)) == [old]
+    assert store.roots_asof(datetime.date(1984, 2, 15)) == [new]
+
+
+def test_logical_clock_defaults():
+    store = VersionStore()
+    a = store.record_insert(TID(1, 0))
+    b = store.record_insert(TID(2, 0))
+    assert a != b
+    assert len(store.current_roots()) == 2
+
+
+def test_backwards_timestamps_rejected():
+    store = VersionStore()
+    oid = store.record_insert(TID(1, 0), at=100)
+    with pytest.raises(TemporalError):
+        store.record_update(oid, TID(2, 0), at=50)
+
+
+def test_update_unknown_object_rejected():
+    store = VersionStore()
+    with pytest.raises(TemporalError):
+        store.record_update(42, TID(1, 0))
+
+
+def test_history_and_object_id_lookup():
+    store = VersionStore()
+    t1, t2 = TID(1, 0), TID(2, 0)
+    oid = store.record_insert(t1, at=1)
+    store.record_update(oid, t2, at=2)
+    history = store.history(oid)
+    assert [v.root_tid for v in history] == [t1, t2]
+    assert history[0].valid_to == history[1].valid_from
+    assert store.object_id_of(t2) == oid
+    with pytest.raises(TemporalError):
+        store.object_id_of(t1)  # no longer current
+    with pytest.raises(TemporalError):
+        store.history(999)

@@ -1,0 +1,94 @@
+"""Tests for the single-user transaction scope (rollback by
+before-image)."""
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import paper
+from repro.errors import ExecutionError
+
+
+def fresh():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+    db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    return db
+
+
+def snapshot(db):
+    return db.table_value("DEPARTMENTS")
+
+
+def test_commit_keeps_changes():
+    db = fresh()
+    with db.transaction():
+        db.execute("UPDATE DEPARTMENTS x SET BUDGET = 1 WHERE x.DNO = 314")
+        db.execute("DELETE FROM DEPARTMENTS x WHERE x.DNO = 218")
+    result = db.query("SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS ORDER BY x.DNO")
+    assert [(r["DNO"], r["BUDGET"]) for r in result] == [
+        (314, 1), (417, 360_000),
+    ]
+
+
+def test_rollback_restores_everything():
+    db = fresh()
+    before = snapshot(db)
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            db.execute("UPDATE DEPARTMENTS x SET BUDGET = 1 WHERE x.DNO = 314")
+            db.execute("DELETE FROM DEPARTMENTS x WHERE x.DNO = 218")
+            db.execute(
+                "INSERT INTO DEPARTMENTS VALUES (999, 1, {}, 0, {})"
+            )
+            db.execute(
+                "UPDATE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, "
+                "z IN y.MEMBERS SET FUNCTION = 'X' WHERE z.EMPNO = 56019"
+            )
+            raise RuntimeError("boom")
+    assert snapshot(db) == before
+    # index contents rolled back too (verified structurally)
+    assert db.verify() == []
+    assert len(db.catalog.index("FN").search("Consultant")) == 3
+
+
+def test_rollback_ordering_with_dependent_ops():
+    db = fresh()
+    before = snapshot(db)
+    with pytest.raises(ValueError):
+        with db.transaction():
+            # insert then update then delete the same new object
+            db.execute("INSERT INTO DEPARTMENTS VALUES (500, 1, {}, 10, {})")
+            db.execute("UPDATE DEPARTMENTS x SET BUDGET = 20 WHERE x.DNO = 500")
+            db.execute("DELETE FROM DEPARTMENTS x WHERE x.DNO = 500")
+            raise ValueError
+    assert snapshot(db) == before
+
+
+def test_nested_transaction_rejected():
+    db = fresh()
+    with db.transaction():
+        with pytest.raises(ExecutionError):
+            with db.transaction():
+                pass
+
+
+def test_versioned_tables_rejected_inside_transaction():
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_SCHEMA, versioned=True)
+    tid = db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0])
+    with db.transaction():
+        with pytest.raises(ExecutionError):
+            db.update("DEPARTMENTS", tid, {"BUDGET": 1})
+        with pytest.raises(ExecutionError):
+            db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[1])
+
+
+def test_queries_inside_transaction_see_own_writes():
+    db = fresh()
+    with db.transaction():
+        db.execute("UPDATE DEPARTMENTS x SET BUDGET = 7 WHERE x.DNO = 314")
+        inside = db.query(
+            "SELECT x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314"
+        )
+        assert inside.column("BUDGET") == [7]

@@ -1,0 +1,115 @@
+"""Tests for tuple names (Section 4.3, Fig 8)."""
+
+import pytest
+
+from repro.datasets import paper
+from repro.errors import TupleNameError
+from repro.model.values import TupleValue, TableValue
+from repro.names.tuple_names import TupleName, TupleNameKind, TupleNameService
+from repro.storage.buffer import BufferManager
+from repro.storage.complex_object import ComplexObjectManager
+from repro.storage.minidirectory import StorageStructure
+from repro.storage.pagedfile import MemoryPagedFile
+from repro.storage.segment import Segment
+
+
+def service(structure=StorageStructure.SS3):
+    buffer = BufferManager(MemoryPagedFile(), capacity=256)
+    manager = ComplexObjectManager(Segment(buffer), structure)
+    root = manager.store(
+        paper.DEPARTMENTS_SCHEMA,
+        TupleValue.from_plain(paper.DEPARTMENTS_SCHEMA, paper.DEPARTMENTS_ROWS[0]),
+    )
+    return TupleNameService(manager, paper.DEPARTMENTS_SCHEMA), manager, root
+
+
+def test_object_tname_u():
+    """Fig 8's U: the t-name of department 314 as a whole."""
+    svc, _manager, root = service()
+    name = svc.name_of_object(root)
+    assert name.kind is TupleNameKind.OBJECT
+    value = svc.resolve(name)
+    assert value["DNO"] == 314
+
+
+def test_subobject_tname_v():
+    """Fig 8's V: the t-name of project 17 (a complex subobject)."""
+    svc, manager, root = service()
+    obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+    name = svc.name_of_subobject(obj, [("PROJECTS", 0)])
+    assert name.kind is TupleNameKind.SUBOBJECT
+    assert len(name.components) == 1
+    value = svc.resolve(name)
+    assert (value["PNO"], value["PNAME"]) == (17, "CGA")
+
+
+def test_flat_subobject_tname_t():
+    """Fig 8's T: the t-name of the '56019 Consultant' tuple."""
+    svc, manager, root = service()
+    obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+    name = svc.name_of_subobject(obj, [("PROJECTS", 0), ("MEMBERS", 1)])
+    assert len(name.components) == 2
+    value = svc.resolve(name)
+    assert (value["EMPNO"], value["FUNCTION"]) == (56019, "Consultant")
+
+
+def test_subtable_tnames_w_and_x():
+    """Fig 8's W (PROJECTS subtable) and X (MEMBERS of project 17)."""
+    svc, manager, root = service()
+    obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+    w = svc.name_of_subtable(obj, [], "PROJECTS")
+    assert w.kind is TupleNameKind.SUBTABLE
+    projects = svc.resolve(w)
+    assert isinstance(projects, TableValue)
+    assert sorted(projects.column("PNO")) == [17, 23]
+    x = svc.name_of_subtable(obj, [("PROJECTS", 0)], "MEMBERS")
+    members = svc.resolve(x)
+    assert members.column("EMPNO") == [39582, 56019, 69011]
+
+
+def test_subtable_tnames_unavailable_under_ss2():
+    """SS2 gives subtables no MD subtuples — no subtable t-names."""
+    svc, manager, root = service(StorageStructure.SS2)
+    obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+    with pytest.raises(TupleNameError):
+        svc.name_of_subtable(obj, [], "PROJECTS")
+    # subobject t-names still work
+    name = svc.name_of_subobject(obj, [("PROJECTS", 1)])
+    assert svc.resolve(name)["PNO"] == 23
+
+
+def test_tname_encode_decode_roundtrip():
+    svc, manager, root = service()
+    obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+    for name in [
+        svc.name_of_object(root),
+        svc.name_of_subobject(obj, [("PROJECTS", 0), ("MEMBERS", 2)]),
+        svc.name_of_subtable(obj, [], "EQUIP"),
+    ]:
+        text = name.encode()
+        assert TupleName.decode(text) == name
+    with pytest.raises(TupleNameError):
+        TupleName.decode("not-a-name")
+    with pytest.raises(TupleNameError):
+        TupleName.decode("@banana/1:2")
+
+
+def test_tnames_survive_unrelated_edits():
+    """A t-name stays valid across inserts elsewhere in the object —
+    the stability property that makes t-names usable as persistent keys."""
+    svc, manager, root = service()
+    obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+    name = svc.name_of_subobject(obj, [("PROJECTS", 0), ("MEMBERS", 1)])
+    for i in range(30):
+        obj.insert_element([], "EQUIP", {"QU": i, "TYPE": f"X{i}"})
+    value = svc.resolve(name)
+    assert value["EMPNO"] == 56019
+
+
+def test_dangling_tname_detected():
+    svc, manager, root = service()
+    obj = manager.open(root, paper.DEPARTMENTS_SCHEMA)
+    name = svc.name_of_subobject(obj, [("PROJECTS", 1)])
+    obj.delete_element([], "PROJECTS", 1)
+    with pytest.raises(TupleNameError):
+        svc.resolve(name)
