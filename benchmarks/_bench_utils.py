@@ -1,9 +1,13 @@
 """Helpers shared by the benchmark harness (imported by the benches)."""
 
+import json
 import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 
 from repro.database import Database
 from repro.datasets import paper
+from repro.obs import METRICS
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
@@ -15,6 +19,66 @@ def emit(artifact_id: str, text: str) -> None:
     print(f"\n{banner}\n{text}")
     with open(os.path.join(OUT_DIR, f"{artifact_id}.txt"), "w") as handle:
         handle.write(text + "\n")
+
+
+def emit_json(artifact_id: str, payload: dict) -> str:
+    """Record one machine-readable metric snapshot (benchmarks/out/)."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{artifact_id}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    return path
+
+
+@dataclass
+class Meter:
+    """What one :func:`metered` window observed."""
+
+    #: buffer-manager counter deltas (logical/physical reads, distinct
+    #: pages, hit ratio, ...)
+    buffer: dict = field(default_factory=dict)
+    #: engine counter deltas from the metrics registry (only when the
+    #: window ran with ``engine=True``)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def pages(self) -> int:
+        """Distinct pages touched during the window (the paper's
+        clustering metric)."""
+        return self.buffer.get("distinct_pages", 0)
+
+
+@contextmanager
+def metered(buffer, cold: bool = True, engine: bool = False):
+    """Measure one operation against a buffer manager.
+
+    Replaces the old reset-then-snapshot boilerplate::
+
+        with metered(buffer) as meter:
+            manager.load(root, schema)
+        print(meter.pages, meter.buffer["physical_reads"])
+
+    ``cold=True`` (default) empties the pool first so physical I/O is
+    measured from a cold cache; ``engine=True`` additionally enables the
+    process-wide metrics registry for the window (restoring its previous
+    state) and reports counter deltas in ``meter.metrics``.
+    """
+    if cold:
+        buffer.invalidate_cache()
+    buffer.stats.reset()
+    was_enabled = METRICS.enabled
+    before_totals = None
+    if engine:
+        METRICS.enable()
+        before_totals = METRICS.totals()
+    meter = Meter()
+    try:
+        yield meter
+    finally:
+        meter.buffer = buffer.stats.snapshot()
+        if engine:
+            meter.metrics = METRICS.delta(before_totals)
+            METRICS.enabled = was_enabled
 
 
 def build_paper_db() -> Database:

@@ -19,7 +19,7 @@ from repro.storage.complex_object import ComplexObjectManager
 from repro.storage.pagedfile import MemoryPagedFile
 from repro.storage.segment import Segment
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_json, metered
 
 WORKLOAD = DepartmentsGenerator(
     departments=40, projects_per_department=5, members_per_project=12,
@@ -50,10 +50,9 @@ def test_whole_object_retrieval_pages(benchmark):
     probes = [rows[i]["DNO"] for i in (5, 20, 35)]
 
     def nf2_pages(dno):
-        buffer.invalidate_cache()
-        buffer.stats.reset()
-        manager.load(roots[dno], paper.DEPARTMENTS_SCHEMA)
-        return len(buffer.stats.pages_touched)
+        with metered(buffer) as meter:
+            manager.load(roots[dno], paper.DEPARTMENTS_SCHEMA)
+        return meter.pages
 
     measurements = []
     for dno in probes:
@@ -61,6 +60,24 @@ def test_whole_object_retrieval_pages(benchmark):
             (dno, nf2_pages(dno), flat.pages_touched_for(dno),
              lorie.pages_touched_for(dno))
         )
+
+    # a machine-readable snapshot with engine counters for one retrieval
+    with metered(buffer, engine=True) as engine_meter:
+        manager.load(roots[probes[0]], paper.DEPARTMENTS_SCHEMA)
+    emit_json(
+        "ablation_A1_clustering_metrics",
+        {
+            "measurements": [
+                {"dno": dno, "aim2_pages": nf2, "flat_pages": flat_pages,
+                 "lorie_pages": lorie_pages}
+                for dno, nf2, flat_pages, lorie_pages in measurements
+            ],
+            "one_retrieval": {
+                "buffer": engine_meter.buffer,
+                "engine_counters": engine_meter.metrics,
+            },
+        },
+    )
 
     # time the AIM-II whole-object retrieval
     benchmark(lambda: manager.load(roots[probes[0]], paper.DEPARTMENTS_SCHEMA))

@@ -22,7 +22,7 @@ from repro.storage.complex_object import ComplexObjectManager
 from repro.storage.pagedfile import MemoryPagedFile
 from repro.storage.segment import Segment
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_json, metered
 
 WORKLOAD = DepartmentsGenerator(
     departments=60, projects_per_department=3, members_per_project=4,
@@ -140,13 +140,14 @@ def test_addressing_schemes(benchmark):
         f"{'scheme':>32} {'objects':>8} {'subobj scans':>13} {'pages':>6}",
     ]
     measured = {}
+    engine_by_label = {}
     for label, runner in runners:
-        buffer.invalidate_cache()
-        buffer.stats.reset()
-        hits, objects, subobjects = runner(manager, roots, indexes)
+        with metered(buffer, engine=True) as meter:
+            hits, objects, subobjects = runner(manager, roots, indexes)
         assert hits == expected, f"{label} gave a wrong answer"
-        pages = len(buffer.stats.pages_touched)
+        pages = meter.pages
         measured[label] = (objects, subobjects, pages)
+        engine_by_label[label] = meter.metrics
         lines.append(f"{label:>32} {objects:>8} {subobjects:>13} {pages:>6}")
     data_objects = measured[runners[0][0]][0]
     root_objects = measured[runners[1][0]][0]
@@ -157,6 +158,16 @@ def test_addressing_schemes(benchmark):
     lines.append(
         "\nhierarchical addresses touch only the final result objects and "
         "scan no subobjects — the paper's claim, measured."
+    )
+    emit_json(
+        "ablation_A3_index_addresses_metrics",
+        {
+            "measured": {
+                label: {"objects": o, "subobject_scans": s, "pages": p}
+                for label, (o, s, p) in measured.items()
+            },
+            "engine_counters": engine_by_label,
+        },
     )
     emit("ablation_A3_index_addresses", "\n".join(lines))
     benchmark(run_hierarchical, manager, roots, indexes)

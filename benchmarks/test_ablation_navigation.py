@@ -19,7 +19,7 @@ from repro.storage.complex_object import ComplexObjectManager
 from repro.storage.pagedfile import MemoryPagedFile
 from repro.storage.segment import Segment
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_json, metered
 
 WORKLOAD = DepartmentsGenerator(
     departments=1, projects_per_department=12, members_per_project=60,
@@ -36,10 +36,9 @@ def build():
 
 
 def pages_for(buffer, action):
-    buffer.invalidate_cache()
-    buffer.stats.reset()
-    action()
-    return len(buffer.stats.pages_touched)
+    with metered(buffer) as meter:
+        action()
+    return meter.pages
 
 
 def test_structure_data_separation(benchmark):
@@ -76,6 +75,22 @@ def test_structure_data_separation(benchmark):
     lines.append(
         "\nnavigation and point reads stay on a fraction of the object's "
         "pages — structure/data separation pays off."
+    )
+    # engine counters prove navigation is MD-only: no data-subtuple reads
+    with metered(buffer, engine=True) as meter:
+        navigate()
+    assert meter.metrics.get("storage.data_subtuple_reads", 0) == 0
+    assert meter.metrics.get("storage.md_subtuple_reads", 0) > 0
+    emit_json(
+        "ablation_A6_navigation_metrics",
+        {
+            "pages": {
+                "navigate": navigation_pages,
+                "read_one": single_pages,
+                "load_all": full_pages,
+            },
+            "navigate_engine_counters": meter.metrics,
+        },
     )
     emit("ablation_A6_navigation", "\n".join(lines))
     benchmark(navigate)

@@ -23,6 +23,7 @@ every DML path, and exposes tuple names and temporal ASOF support.
 from __future__ import annotations
 
 import datetime
+import time
 from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
 from repro.catalog.catalog import Catalog, TableEntry
@@ -42,6 +43,7 @@ from repro.model.ddl import parse_create_table
 from repro.model.schema import TableSchema
 from repro.model.values import TableValue, TupleValue
 from repro.names.tuple_names import TupleName, TupleNameService
+from repro.obs import METRICS, Span, TRACER
 from repro.query import ast
 from repro.query.executor import Executor
 from repro.query.parser import parse_statement
@@ -492,8 +494,26 @@ class Database:
     def execute(self, text: str) -> Any:
         """Execute any statement.  Queries return a
         :class:`~repro.model.values.TableValue`; DML returns the affected
-        tuple count; DDL returns the created schema / ``None``."""
+        tuple count; DDL returns the created schema / ``None``;
+        ``EXPLAIN [ANALYZE]`` returns the rendered plan text."""
+        parse_start = time.perf_counter()
         statement = parse_statement(text)
+        parse_end = time.perf_counter()
+        parse_ms = (parse_end - parse_start) * 1000.0
+        if isinstance(statement, ast.ExplainStatement):
+            return self._execute_explain(statement, parse_ms)
+        if not TRACER.enabled:
+            return self._dispatch(statement)
+        with TRACER.span(
+            "statement", kind=type(statement).__name__, text=text.strip()[:200]
+        ) as span:
+            if span is not None:
+                parse_span = Span("parse", start=parse_start)
+                parse_span.end = parse_end
+                span.children.append(parse_span)
+            return self._dispatch(statement)
+
+    def _dispatch(self, statement: ast.Statement) -> Any:
         if isinstance(statement, ast.Query):
             return self._executor.run(statement)
         if isinstance(statement, ast.InsertStatement):
@@ -550,11 +570,21 @@ class Database:
 
     def explain(self, text: str) -> str:
         """Describe how a query would be executed (without running it):
-        the binding loops, and the access path chosen for the first range.
-        """
+        the binding loops, and the access path chosen for every range
+        variable."""
         statement = parse_statement(text)
+        if isinstance(statement, ast.ExplainStatement):
+            statement = statement.target
+        return self._explain_plan(statement)
+
+    def _explain_plan(self, statement: ast.Statement) -> str:
         if not isinstance(statement, ast.Query):
             return f"statement: {type(statement).__name__}"
+        return "\n".join(self._plan_lines(statement))
+
+    def _plan_lines(self, statement: ast.Query) -> list[str]:
+        """Predicted plan: one loop line plus access-path line(s) per
+        range variable, then the result shape."""
         from repro.query.binder import Binder
 
         schema = Binder(self).bind_query(statement)
@@ -562,37 +592,172 @@ class Database:
         for index, range_ in enumerate(statement.ranges):
             source = range_.source.describe()
             lines.append(f"  loop {index + 1}: {range_.var} IN {source}")
-        first = statement.ranges[0]
-        if first.source.table is not None and first.source.asof is None:
-            entry = self.catalog.table(first.source.table)
-            conditions = extract_conditions(statement, first.var)
-            if conditions is None:
-                lines.append("  access: full scan (WHERE not index-coverable)")
-            elif not conditions:
-                lines.append("  access: full scan (no indexable conditions)")
-            else:
-                roots, report = candidate_roots(entry, conditions)
-                if roots is None:
-                    lines.append(
-                        "  access: full scan (no matching index; "
-                        f"{len(conditions)} indexable condition(s) found)"
-                    )
-                else:
-                    lines.append(
-                        f"  access: index ({', '.join(report.used_indexes)}) -> "
-                        f"{len(roots)} candidate object(s)"
-                    )
-                    if report.prefix_joins:
-                        lines.append(
-                            f"  prefix joins on hierarchical addresses: "
-                            f"{report.prefix_joins}"
-                        )
-        else:
-            lines.append("  access: materialized source (path or ASOF)")
+            lines.extend(self._access_lines(statement, range_, first=index == 0))
         out_kind = "list" if schema.ordered else "relation"
         lines.append(
             f"  result: {out_kind} ({', '.join(schema.attribute_names)})"
         )
+        return lines
+
+    def _access_lines(
+        self, statement: ast.Query, range_: ast.Range, first: bool
+    ) -> list[str]:
+        """The access path chosen for one range variable."""
+        source = range_.source
+        if source.table is None:
+            assert source.path is not None
+            return [
+                f"  access: nested scan of {source.path.dotted()} "
+                "(correlated with outer loops)"
+            ]
+        if source.asof is not None:
+            return ["  access: materialized source (path or ASOF)"]
+        entry = self.catalog.table(source.table)
+        if first:
+            conditions = extract_conditions(statement, range_.var)
+            if conditions is None:
+                return ["  access: full scan (WHERE not index-coverable)"]
+            if not conditions:
+                return ["  access: full scan (no indexable conditions)"]
+            roots, report = candidate_roots(entry, conditions)
+            if roots is None:
+                return [
+                    "  access: full scan (no matching index; "
+                    f"{len(conditions)} indexable condition(s) found)"
+                ]
+            lines = [
+                f"  access: index ({', '.join(report.used_indexes)}) -> "
+                f"{len(roots)} candidate object(s)"
+            ]
+            if report.prefix_joins:
+                lines.append(
+                    f"  prefix joins on hierarchical addresses: "
+                    f"{report.prefix_joins}"
+                )
+            return lines
+        # inner table range: index nested loops when an equality conjunct
+        # binds one of its top-level attributes through an index
+        index_name = self._join_index_name(entry, statement.where, range_.var)
+        if index_name is not None:
+            return [f"  access: index nested loops ({index_name})"]
+        return ["  access: full scan (re-scanned per outer binding)"]
+
+    def _join_index_name(
+        self,
+        entry: TableEntry,
+        where: Optional[ast.Predicate],
+        var: str,
+    ) -> Optional[str]:
+        """The index :meth:`lookup_rows` would answer an inner range's
+        equality conjunct through, or ``None``."""
+        if where is None or not self.use_access_paths:
+            return None
+        from repro.query.planner import _flatten_and
+
+        conjuncts = _flatten_and(where)
+        if conjuncts is None:
+            return None
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, ast.Comparison) and conjunct.op == "="):
+                continue
+            for mine in (conjunct.left, conjunct.right):
+                if not (
+                    isinstance(mine, ast.Path)
+                    and mine.var == var
+                    and len(mine.attribute_names) == 1
+                    and not mine.has_subscript
+                ):
+                    continue
+                attribute = mine.attribute_names[0]
+                for index in entry.indexes.values():
+                    if isinstance(index, TextIndex):
+                        continue
+                    if index.definition.attribute_path != (attribute,):
+                        continue
+                    if (
+                        not isinstance(index, FlatIndex)
+                        and index.definition.mode is AddressingMode.DATA_TID
+                    ):
+                        continue
+                    return index.definition.name
+        return None
+
+    def _execute_explain(
+        self, statement: ast.ExplainStatement, parse_ms: float
+    ) -> str:
+        """EXPLAIN renders the predicted plan; EXPLAIN ANALYZE also runs
+        the statement under observability and annotates the plan with
+        actual cardinalities, phase timings, and counter deltas."""
+        target = statement.target
+        if not statement.analyze:
+            return self._explain_plan(target)
+        from repro import obs
+
+        is_query = isinstance(target, ast.Query)
+        # Predicted access paths are computed *before* the metered run so
+        # planner probes don't pollute the reported deltas.
+        access_per_range: list[list[str]] = []
+        if is_query:
+            access_per_range = [
+                self._access_lines(target, range_, first=index == 0)
+                for index, range_ in enumerate(target.ranges)
+            ]
+        with obs.profiled():
+            before_totals = METRICS.totals()
+            before_buffer = self.io_stats.snapshot()
+            start = time.perf_counter()
+            with TRACER.span(
+                "statement", kind=type(target).__name__, analyze=True
+            ):
+                result = self._dispatch(target)
+            total_ms = (time.perf_counter() - start) * 1000.0
+            counter_delta = METRICS.delta(before_totals)
+            buffer_delta = self.io_stats.delta(before_buffer)
+            trace = TRACER.last_trace
+
+        lines: list[str] = []
+        if is_query:
+            profile = self._executor.last_profile
+            scanned = dict(profile.rows_scanned) if profile is not None else {}
+            lines.append("query plan (analyzed):")
+            for index, range_ in enumerate(target.ranges):
+                source = range_.source.describe()
+                lines.append(f"  loop {index + 1}: {range_.var} IN {source}")
+                lines.extend(access_per_range[index])
+                lines.append(
+                    f"    actual: {scanned.get(range_.var, 0)} row(s) scanned"
+                )
+            emitted = len(result.rows) if isinstance(result, TableValue) else 0
+            lines.append(f"  result: {emitted} row(s)")
+            if profile is not None:
+                lines.append(
+                    f"  predicate evaluations: {profile.predicate_evals}"
+                    f"  join lookups: {profile.join_lookups}"
+                )
+        else:
+            lines.append(f"statement: {type(target).__name__}")
+            lines.append(f"  result: {result!r}")
+        lines.append("timings:")
+        lines.append(f"  parse: {parse_ms:.3f} ms")
+        for phase in ("bind", "execute"):
+            span = trace.find(phase) if trace is not None else None
+            if span is not None:
+                lines.append(f"  {phase}: {span.duration_ms:.3f} ms")
+        lines.append(f"  total: {total_ms:.3f} ms")
+        lines.append("buffer (delta):")
+        lines.append(
+            "  "
+            + "  ".join(f"{key}={value}" for key, value in buffer_delta.items())
+        )
+        engine = {
+            name: value
+            for name, value in counter_delta.items()
+            if not name.startswith("buffer.")
+        }
+        if engine:
+            lines.append("engine counters (delta):")
+            for name, value in sorted(engine.items()):
+                lines.append(f"  {name}: {value:g}")
         return "\n".join(lines)
 
     def _execute_insert(self, statement: ast.InsertStatement) -> int:
@@ -656,16 +821,30 @@ class Database:
         entry = self.catalog.table(name)
         self.last_plan = None
         if self.use_access_paths and asof is None and entry.indexes:
-            conditions = extract_conditions(query, var)
-            if conditions:
-                roots, report = candidate_roots(entry, conditions)
-                if roots is not None:
-                    self.last_plan = report
-                    current = set(entry.tids)
-                    for tid in roots:
-                        if tid in current:
-                            yield self._fetch(entry, tid)
-                    return
+            with TRACER.span("plan", table=name, var=var) as span:
+                conditions = extract_conditions(query, var)
+                roots = report = None
+                if conditions:
+                    roots, report = candidate_roots(entry, conditions)
+                if span is not None:
+                    span.annotate(
+                        access="index" if roots is not None else "full scan",
+                        candidates=len(roots) if roots is not None else None,
+                        indexes=(
+                            list(report.used_indexes) if report is not None else []
+                        ),
+                    )
+            if roots is not None:
+                self.last_plan = report
+                if METRICS.enabled:
+                    METRICS.inc("query.index_plans")
+                current = set(entry.tids)
+                for tid in roots:
+                    if tid in current:
+                        yield self._fetch(entry, tid)
+                return
+        if METRICS.enabled:
+            METRICS.inc("query.scan_plans")
         yield from self.iterate_table(name, asof)
 
     def lookup_rows(

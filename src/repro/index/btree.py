@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.errors import AccessPathError
+from repro.obs import METRICS
 
 
 class _Node:
@@ -58,6 +59,8 @@ class BPlusTree:
             leaf = self._leftmost_leaf()
             start = 0
         while leaf is not None:
+            if METRICS.enabled:
+                METRICS.inc("index.btree_leaf_visits")
             for index in range(start, len(leaf.keys)):
                 key = leaf.keys[index]
                 if low is not None:
@@ -118,9 +121,13 @@ class BPlusTree:
 
     def _find_leaf(self, key: Any) -> _Node:
         node = self._root
+        visits = 1
         while not node.is_leaf:
             index = self._child_index(node, key)
             node = node.children[index]
+            visits += 1
+        if METRICS.enabled:
+            METRICS.inc("index.btree_node_visits", visits)
         return node
 
     def _leftmost_leaf(self) -> _Node:

@@ -20,6 +20,7 @@ from repro.errors import AccessPathError
 from repro.index.addresses import AddressingMode, HierarchicalAddress, IndexAddress
 from repro.index.btree import BPlusTree
 from repro.model.schema import TableSchema
+from repro.obs import METRICS
 from repro.storage.complex_object import OpenObject
 from repro.storage.minidirectory import DecodedElement
 from repro.storage.tid import MiniTID, TID
@@ -123,9 +124,13 @@ class NF2Index:
     # -- lookup ----------------------------------------------------------------------
 
     def search(self, key: Any) -> list[IndexAddress]:
+        if METRICS.enabled:
+            METRICS.inc("index.probes", index=self.definition.name)
         return self.tree.search(key)
 
     def range(self, low: Any = None, high: Any = None, **kwargs) -> Iterator[tuple[Any, list[IndexAddress]]]:
+        if METRICS.enabled:
+            METRICS.inc("index.range_scans", index=self.definition.name)
         return self.tree.range(low, high, **kwargs)
 
     def roots_for(self, key: Any) -> list[TID]:
@@ -173,9 +178,13 @@ class FlatIndex:
             self.tree.remove(key, tid)
 
     def search(self, key: Any) -> list[TID]:
+        if METRICS.enabled:
+            METRICS.inc("index.probes", index=self.definition.name)
         return self.tree.search(key)
 
     def range(self, low: Any = None, high: Any = None, **kwargs):
+        if METRICS.enabled:
+            METRICS.inc("index.range_scans", index=self.definition.name)
         return self.tree.range(low, high, **kwargs)
 
     def __len__(self) -> int:

@@ -28,6 +28,7 @@ from repro.index.addresses import AddressingMode, HierarchicalAddress, IndexAddr
 from repro.index.manager import IndexDefinition, NF2Index
 from repro.model.schema import TableSchema
 from repro.model.types import AtomicType
+from repro.obs import METRICS
 from repro.storage.complex_object import OpenObject
 from repro.storage.tid import TID
 
@@ -102,6 +103,8 @@ class TextIndex:
 
         Candidates are a superset of the true matches; callers verify.
         """
+        if METRICS.enabled:
+            METRICS.inc("index.text_probes", index=self.definition.name)
         runs = [run for run in re.split(r"[*?]+", pattern) if run]
         fragments: set[str] = set()
         for run in runs:

@@ -1,0 +1,227 @@
+"""Query-lifecycle tracing: nested timed spans with attributes.
+
+``Database.execute`` opens a trace per statement with spans for
+parse / bind / plan / execute; storage and planner components may attach
+further child spans or annotate the current one.  Finished traces are kept
+in a small ring buffer and are exportable as plain JSON or as the Chrome
+``trace_event`` format (load ``chrome://tracing`` or https://ui.perfetto.dev
+and drop the file in to see the statement timeline).
+
+Like the metrics registry, the tracer is **disabled by default** and every
+entry point guards on the plain ``TRACER.enabled`` attribute so the cost of
+tracing-when-off is one attribute load and a branch.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+
+class Span:
+    """One timed region; ``duration_ms`` is valid once the span ended."""
+
+    __slots__ = ("name", "start", "end", "attrs", "children")
+
+    def __init__(self, name: str, start: Optional[float] = None):
+        self.name = name
+        self.start = time.perf_counter() if start is None else start
+        self.end: Optional[float] = None
+        self.attrs: dict[str, Any] = {}
+        self.children: list["Span"] = []
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return (end - self.start) * 1000.0
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for a descendant span by name."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 4),
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(data["name"], start=0.0)
+        span.end = data["duration_ms"] / 1000.0
+        span.attrs = dict(data.get("attrs", {}))
+        span.children = [cls.from_dict(c) for c in data.get("children", ())]
+        return span
+
+
+class Trace:
+    """A finished statement trace: a root span plus wall-clock anchoring."""
+
+    def __init__(self, root: Span, started_at: Optional[float] = None):
+        self.root = root
+        #: wall-clock epoch seconds when the trace began (export metadata)
+        self.started_at = time.time() if started_at is None else started_at
+
+    @property
+    def name(self) -> str:
+        return self.root.name
+
+    @property
+    def duration_ms(self) -> float:
+        return self.root.duration_ms
+
+    def find(self, name: str) -> Optional[Span]:
+        if self.root.name == name:
+            return self.root
+        return self.root.find(name)
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro.obs.trace/1",
+            "started_at": self.started_at,
+            "root": self.root.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        if data.get("format") != "repro.obs.trace/1":
+            raise ValueError("not a repro.obs trace")
+        return cls(Span.from_dict(data["root"]), started_at=data["started_at"])
+
+    def chrome_events(self) -> list[dict]:
+        """Chrome ``trace_event`` complete events ("ph": "X"), one per
+        span, microsecond timestamps relative to the trace start."""
+        events: list[dict] = []
+        origin = self.root.start
+
+        def visit(span: Span) -> None:
+            end = span.end if span.end is not None else span.start
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": round((span.start - origin) * 1e6, 3),
+                    "dur": round((end - span.start) * 1e6, 3),
+                    "pid": 1,
+                    "tid": 1,
+                    "cat": "repro",
+                    "args": {k: _jsonable(v) for k, v in span.attrs.items()},
+                }
+            )
+            for child in span.children:
+                visit(child)
+
+        visit(self.root)
+        return events
+
+    def to_chrome_json(self) -> str:
+        return json.dumps(
+            {"traceEvents": self.chrome_events(), "displayTimeUnit": "ms"}
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class Tracer:
+    """Maintains the active span stack and a ring of finished traces."""
+
+    def __init__(self, enabled: bool = False, keep: int = 32):
+        self.enabled = enabled
+        self._stack: list[Span] = []
+        self.traces: deque[Trace] = deque(maxlen=keep)
+        self.last_trace: Optional[Trace] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+        self._stack.clear()
+
+    # -- spans ---------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+        """Open a span.  A span opened with an empty stack starts a new
+        trace; closing it finishes the trace.  Yields ``None`` (cheaply)
+        when tracing is disabled."""
+        if not self.enabled:
+            yield None
+            return
+        span = Span(name)
+        if attrs:
+            span.attrs.update(attrs)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter()
+            # tolerate a stack disturbed by generator-interleaved spans
+            if span in self._stack:
+                while self._stack and self._stack[-1] is not span:
+                    self._stack.pop()
+                self._stack.pop()
+            if parent is None:
+                trace = Trace(span)
+                self.traces.append(trace)
+                self.last_trace = trace
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the innermost open span (no-op when
+        disabled or outside any span)."""
+        if not self.enabled or not self._stack:
+            return
+        self._stack[-1].attrs.update(attrs)
+
+    # -- export --------------------------------------------------------------
+
+    def export_json(self, path: str, trace: Optional[Trace] = None) -> None:
+        trace = trace or self.last_trace
+        if trace is None:
+            raise ValueError("no finished trace to export")
+        with open(path, "w") as handle:
+            json.dump(trace.to_dict(), handle, indent=2)
+
+    def export_chrome(self, path: str, trace: Optional[Trace] = None) -> None:
+        trace = trace or self.last_trace
+        if trace is None:
+            raise ValueError("no finished trace to export")
+        with open(path, "w") as handle:
+            handle.write(trace.to_chrome_json())
+
+
+#: the process-wide tracer used by Database.execute and friends
+TRACER = Tracer()

@@ -299,8 +299,22 @@ class AlterTableStatement:
     payload: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    Plain EXPLAIN describes the access plan without running the statement;
+    EXPLAIN ANALYZE executes it under observability and reports actual
+    cardinalities, phase timings, and engine/buffer counter deltas.
+    """
+
+    target: "Statement"
+    analyze: bool = False
+
+
 Statement = Union[
     "AlterTableStatement",
+    "ExplainStatement",
     Query,
     InsertStatement,
     UpdateStatement,

@@ -20,8 +20,39 @@ from typing import Any, Callable, Iterable, Optional, Protocol
 from repro.errors import ExecutionError
 from repro.model.schema import TableSchema
 from repro.model.values import TableValue, TupleValue
+from repro.obs import METRICS, TRACER
 from repro.query import ast
 from repro.query.binder import Binder, Scope, SchemaProvider
+
+
+class QueryProfile:
+    """Per-statement execution accounting.
+
+    Created only while observability is on (``METRICS`` or ``TRACER``
+    enabled) — when off, the executor's hot loops pay a single ``is not
+    None`` check per row and allocate nothing.
+    """
+
+    __slots__ = ("rows_scanned", "rows_emitted", "predicate_evals", "join_lookups")
+
+    def __init__(self) -> None:
+        #: rows pulled from each range variable's source, keyed by var name
+        self.rows_scanned: dict[str, int] = {}
+        self.rows_emitted = 0
+        self.predicate_evals = 0
+        self.join_lookups = 0
+
+    @property
+    def total_scanned(self) -> int:
+        return sum(self.rows_scanned.values())
+
+    def snapshot(self) -> dict:
+        return {
+            "rows_scanned": dict(self.rows_scanned),
+            "rows_emitted": self.rows_emitted,
+            "predicate_evals": self.predicate_evals,
+            "join_lookups": self.join_lookups,
+        }
 
 
 class TableProvider(SchemaProvider, Protocol):
@@ -52,13 +83,34 @@ class Executor:
         # id(query) -> (query, schema); the strong reference to the query
         # node prevents id() reuse after garbage collection.
         self._schema_cache: dict[int, tuple[ast.Query, TableSchema]] = {}
+        #: the profile of the most recent profiled run (None if the last
+        #: run happened with observability off)
+        self.last_profile: Optional[QueryProfile] = None
+        self._profile: Optional[QueryProfile] = None
 
     # -- public ------------------------------------------------------------------
 
     def run(self, query: ast.Query) -> TableValue:
         """Execute a query; returns its (possibly nested) result table."""
-        schema = self._result_schema(query, Scope())
-        return self._execute(query, schema, env={}, is_top=True)
+        with TRACER.span("bind"):
+            schema = self._result_schema(query, Scope())
+        profile = QueryProfile() if (METRICS.enabled or TRACER.enabled) else None
+        self._profile = profile
+        try:
+            with TRACER.span("execute") as span:
+                result = self._execute(query, schema, env={}, is_top=True)
+                if span is not None and profile is not None:
+                    span.annotate(**profile.snapshot())
+        finally:
+            self._profile = None
+        if profile is not None:
+            self.last_profile = profile
+            if METRICS.enabled:
+                METRICS.inc("query.rows_scanned", profile.total_scanned)
+                METRICS.inc("query.rows_emitted", profile.rows_emitted)
+                METRICS.inc("query.predicate_evals", profile.predicate_evals)
+                METRICS.inc("query.join_lookups", profile.join_lookups)
+        return result
 
     # -- schemas -----------------------------------------------------------------
 
@@ -85,8 +137,14 @@ class Executor:
         sort_keys: list[tuple] = []
 
         def emit(bound_env: dict[str, TupleValue]) -> None:
-            if query.where is not None and not self._eval_predicate(query.where, bound_env):
-                return
+            profile = self._profile
+            if query.where is not None:
+                if profile is not None:
+                    profile.predicate_evals += 1
+                if not self._eval_predicate(query.where, bound_env):
+                    return
+            if profile is not None and is_top:
+                profile.rows_emitted += 1
             result.rows.append(self._project(query, schema, bound_env))
             if query.order_by:
                 sort_keys.append(
@@ -141,7 +199,12 @@ class Executor:
             planner_query=query if first else None,
             where=query.where,
         )
+        profile = self._profile
         for row in source_rows:
+            if profile is not None:
+                profile.rows_scanned[head.var] = (
+                    profile.rows_scanned.get(head.var, 0) + 1
+                )
             inner = dict(env)
             inner[head.var] = row
             self._loop_ranges(query, tail, inner, emit, is_top)
@@ -217,6 +280,8 @@ class Executor:
                     continue
                 rows = lookup(table, mine.attribute_names[0], value)
                 if rows is not None:
+                    if self._profile is not None:
+                        self._profile.join_lookups += 1
                     return rows
         return None
 

@@ -23,6 +23,7 @@ KEYWORDS = frozenset(
         "CREATE", "DROP", "TABLE", "LIST", "OF", "INDEX", "TEXT", "ON",
         "VERSIONED", "ORDER", "BY", "ASC", "DESC", "DISTINCT",
         "ALTER", "ADD", "ATTRIBUTE", "RENAME", "TO",
+        "EXPLAIN", "ANALYZE",
     }
 )
 

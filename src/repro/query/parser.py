@@ -109,6 +109,13 @@ class _Parser:
     # -- statements -------------------------------------------------------------
 
     def parse_statement(self) -> ast.Statement:
+        if self.at_keyword("EXPLAIN"):
+            self.advance()
+            analyze = self.accept_keyword("ANALYZE")
+            target = self.parse_statement()
+            if isinstance(target, ast.ExplainStatement):
+                raise self.error("EXPLAIN may not be nested")
+            return ast.ExplainStatement(target=target, analyze=analyze)
         if self.at_keyword("SELECT"):
             query = self.parse_query()
             self.expect_eof()

@@ -10,12 +10,18 @@ dot-commands::
     .tables              list tables
     .schema NAME         show a table's DDL
     .indexes             list indexes
-    .stats               buffer-manager counters
+    .stats               buffer-manager counters + engine metric totals
+    .profile on|off      enable/disable observability (metrics + tracing)
+    .trace FILE          export the last statement trace (Chrome format)
     .storage             per-table storage report (pages, fill, MD/data)
     .verify              consistency check (CHECK TABLE)
     .save                persist (disk-backed databases)
     .help                this text
     .quit                leave
+
+``EXPLAIN ANALYZE <query>;`` works as a statement and prints the
+annotated plan; ``.profile on`` keeps the metrics registry running so
+``.stats`` accumulates engine counters across statements.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 import sys
 from typing import Optional
 
+from repro import obs
 from repro.database import Database
 from repro.errors import ReproError
 from repro.model.ddl import schema_to_ddl
@@ -43,6 +50,8 @@ def execute_line(db: Database, statement: str, out=sys.stdout) -> None:
     if isinstance(result, TableValue):
         print(render_table(result, title="RESULT"), file=out)
         print(f"({len(result)} tuple{'s' if len(result) != 1 else ''})", file=out)
+    elif isinstance(result, str):
+        print(result, file=out)  # EXPLAIN [ANALYZE] plan text
     elif isinstance(result, int):
         print(f"{result} tuple{'s' if result != 1 else ''} affected", file=out)
     elif result is not None:
@@ -83,6 +92,37 @@ def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
     elif command == ".stats":
         for key, value in db.io_stats.snapshot().items():
             print(f"  {key}: {value}", file=out)
+        totals = obs.METRICS.totals()
+        if totals:
+            print("  engine counters:", file=out)
+            for name, value in totals.items():
+                print(f"    {name}: {value:g}", file=out)
+    elif command == ".profile":
+        mode = parts[1].lower() if len(parts) > 1 else None
+        if mode == "on":
+            obs.enable()
+            print("profiling on (metrics + tracing)", file=out)
+        elif mode == "off":
+            obs.disable()
+            print("profiling off", file=out)
+        else:
+            state = "on" if obs.METRICS.enabled else "off"
+            print(f"usage: .profile on|off (currently {state})", file=out)
+    elif command == ".trace":
+        if len(parts) < 2:
+            print("usage: .trace FILE", file=out)
+        elif obs.TRACER.last_trace is None:
+            print(
+                "no finished trace — run a statement with .profile on first",
+                file=out,
+            )
+        else:
+            obs.TRACER.export_chrome(parts[1])
+            print(
+                f"wrote {parts[1]} (load it in chrome://tracing or "
+                "https://ui.perfetto.dev)",
+                file=out,
+            )
     elif command == ".storage":
         report = db.storage_report()
         print(f"  total pages: {report['total_pages']}", file=out)

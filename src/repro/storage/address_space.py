@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.errors import PageFullError, RecordNotFoundError, SegmentError, StorageError
+from repro.obs import METRICS
 from repro.storage.constants import (
     FLAG_LCHAIN,
     FLAG_LCHAIN_PART,
@@ -73,6 +74,8 @@ class LocalAddressSpace:
 
     def translate(self, mini: MiniTID) -> TID:
         """Local Mini TID -> segment-global TID via the page list."""
+        if METRICS.enabled:
+            METRICS.inc("storage.page_list_lookups")
         if mini.local_page >= len(self.page_list):
             raise StorageError(f"{mini} outside local address space")
         page = self.page_list[mini.local_page]
@@ -181,6 +184,12 @@ class LocalAddressSpace:
     def read(self, mini: MiniTID) -> bytes:
         """Read a subtuple, following local forwards and reassembling
         local chains."""
+        if METRICS.enabled and mini.local_page < len(self.page_roles):
+            METRICS.inc(
+                "storage.md_subtuple_reads"
+                if self.page_roles[mini.local_page]
+                else "storage.data_subtuple_reads"
+            )
         flag, payload = self._read_raw(mini)
         if flag == FLAG_LFORWARD:
             target = MiniTID.decode(payload)

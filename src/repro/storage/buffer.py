@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.errors import BufferError_
+from repro.obs import METRICS
 from repro.storage.constants import PAGE_SIZE
 from repro.storage.page import Page
 from repro.storage.pagedfile import PagedFile
@@ -35,14 +36,52 @@ class BufferStats:
         self.evictions = 0
         self.pages_touched = set()
 
+    @property
+    def hits(self) -> int:
+        """Page requests served from the pool (no backend read)."""
+        return self.logical_reads - self.physical_reads
+
+    @property
+    def hit_ratio(self) -> Optional[float]:
+        """Fraction of page requests served from the pool, or ``None``
+        before any request was made."""
+        if self.logical_reads == 0:
+            return None
+        return self.hits / self.logical_reads
+
     def snapshot(self) -> dict:
+        ratio = self.hit_ratio
         return {
             "logical_reads": self.logical_reads,
             "physical_reads": self.physical_reads,
             "physical_writes": self.physical_writes,
             "evictions": self.evictions,
             "distinct_pages": len(self.pages_touched),
+            "hit_ratio": round(ratio, 4) if ratio is not None else None,
         }
+
+    def delta(self, before: dict) -> dict:
+        """Counter movement since a previous :meth:`snapshot`.
+
+        ``hit_ratio`` is recomputed *for the window* (hits during the
+        window over logical reads during the window); ``distinct_pages``
+        is the growth of the cumulative distinct-page set.
+        """
+        current = self.snapshot()
+        out = {
+            key: current[key] - before.get(key, 0)
+            for key in (
+                "logical_reads",
+                "physical_reads",
+                "physical_writes",
+                "evictions",
+                "distinct_pages",
+            )
+        }
+        logical = out["logical_reads"]
+        hits = logical - out["physical_reads"]
+        out["hit_ratio"] = round(hits / logical, 4) if logical else None
+        return out
 
 
 class _Frame:
@@ -79,8 +118,14 @@ class BufferManager:
             self.stats.physical_reads += 1
             frame = _Frame(page_no, buffer)
             self._frames[page_no] = frame
+            if METRICS.enabled:
+                METRICS.inc("buffer.logical_reads")
+                METRICS.inc("buffer.misses")
         else:
             self._frames.move_to_end(page_no)
+            if METRICS.enabled:
+                METRICS.inc("buffer.logical_reads")
+                METRICS.inc("buffer.hits")
         frame.pin_count += 1
         return Page(frame.buffer)
 
@@ -111,6 +156,9 @@ class BufferManager:
         frame.pin_count += 1
         self.stats.logical_reads += 1
         self.stats.pages_touched.add(page_no)
+        if METRICS.enabled:
+            METRICS.inc("buffer.logical_reads")
+            METRICS.inc("buffer.pages_allocated")
         page = Page.format(frame.buffer)
         return page_no, page
 
@@ -121,6 +169,7 @@ class BufferManager:
         if frame is not None and frame.dirty:
             self._file.write_page(page_no, bytes(frame.buffer))
             self.stats.physical_writes += 1
+            METRICS.inc("buffer.physical_writes")
             frame.dirty = False
 
     def flush_all(self) -> None:
@@ -164,4 +213,6 @@ class BufferManager:
             if frame.dirty:
                 self._file.write_page(frame.page_no, bytes(frame.buffer))
                 self.stats.physical_writes += 1
+                METRICS.inc("buffer.physical_writes")
             self.stats.evictions += 1
+            METRICS.inc("buffer.evictions")

@@ -20,6 +20,7 @@ from typing import Iterator, Optional, Sequence, Union
 
 from repro.errors import RecordNotFoundError, StorageError
 from repro.model.schema import TableSchema
+from repro.obs import METRICS
 from repro.model.values import TableValue, TupleValue
 from repro.storage.address_space import LocalAddressSpace
 from repro.storage.minidirectory import (
@@ -163,6 +164,8 @@ class ComplexObjectManager:
     def open(self, root_tid: TID, schema: TableSchema) -> "OpenObject":
         """Decode the object's structure (MD subtuples only — no data
         pages are touched)."""
+        if METRICS.enabled:
+            METRICS.inc("storage.objects_opened")
         payload = self._segment.read_record(root_tid)
         if subtuple_kind(payload) != KIND_ROOT:
             raise StorageError(f"{root_tid} is not a root MD subtuple")
@@ -410,6 +413,8 @@ class OpenObject:
     def read_atoms(self, schema: TableSchema, element: DecodedElement) -> dict:
         """Read one data subtuple: the element's first-level atomic
         values."""
+        if METRICS.enabled:
+            METRICS.inc("storage.data_subtuple_decodes")
         payload = self.space.read(element.data)
         values = decode_data_subtuple(schema.attributes, payload)
         return {

@@ -11,6 +11,7 @@ from typing import Iterator, Optional
 
 from repro.model.schema import TableSchema
 from repro.model.values import TupleValue
+from repro.obs import METRICS
 from repro.storage.segment import Segment
 from repro.storage.subtuple import decode_data_subtuple, encode_data_subtuple
 from repro.storage.tid import TID
@@ -36,6 +37,8 @@ class HeapFile:
         return self._segment.insert_record(payload)
 
     def fetch(self, tid: TID) -> TupleValue:
+        if METRICS.enabled:
+            METRICS.inc("storage.heap_fetches")
         payload = self._segment.read_record(tid)
         values = decode_data_subtuple(self.schema.attributes, payload)
         return TupleValue(
@@ -52,6 +55,8 @@ class HeapFile:
 
     def scan(self) -> Iterator[tuple[TID, TupleValue]]:
         for tid, payload in self._segment.scan():
+            if METRICS.enabled:
+                METRICS.inc("storage.heap_fetches")
             values = decode_data_subtuple(self.schema.attributes, payload)
             yield tid, TupleValue(
                 self.schema,

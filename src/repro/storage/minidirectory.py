@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import StorageError
+from repro.obs import METRICS
 from repro.model.schema import TableSchema
 from repro.model.values import TableValue, TupleValue
 from repro.storage.address_space import MD_POOL, LocalAddressSpace
@@ -403,6 +404,15 @@ class SS3Codec(MiniDirectoryCodec):
 
 
 def _expect(tag: int, wanted: int) -> None:
+    """Validate a pointer tag while decoding — every call is one D or C
+    pointer dereference during Mini-Directory navigation, which is exactly
+    the work the paper's Section 4.1/4.2 analysis counts."""
+    if METRICS.enabled:
+        METRICS.inc(
+            "storage.d_pointer_derefs"
+            if wanted == POINTER_D
+            else "storage.c_pointer_derefs"
+        )
     if tag != wanted:
         kind = {POINTER_C: "C", POINTER_D: "D"}.get(wanted, "?")
         raise StorageError(f"corrupt Mini Directory: expected a {kind} pointer")

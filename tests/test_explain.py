@@ -58,3 +58,126 @@ def test_explain_validates(paper_db):
 
 def test_explain_non_query(paper_db):
     assert "DeleteStatement" in paper_db.explain("DELETE FROM DEPARTMENTS")
+
+
+# ---------------------------------------------------------------------------
+# every range variable gets an access line
+# ---------------------------------------------------------------------------
+
+
+def test_explain_access_line_per_range(paper_db):
+    plan = paper_db.explain(
+        "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS"
+    )
+    assert plan.count("access:") == 2
+    assert "nested scan of x.PROJECTS" in plan
+
+
+def make_1nf_join_db():
+    from repro.database import Database
+    from repro.datasets import paper
+
+    db = Database()
+    db.create_table(paper.DEPARTMENTS_1NF_SCHEMA)
+    db.create_table(paper.PROJECTS_1NF_SCHEMA)
+    db.insert_many(
+        "DEPARTMENTS-1NF", (r.to_plain() for r in paper.departments_1nf())
+    )
+    db.insert_many(
+        "PROJECTS-1NF", (r.to_plain() for r in paper.projects_1nf())
+    )
+    return db
+
+
+def test_explain_inner_table_index_nested_loops():
+    db = make_1nf_join_db()
+    db.create_index("PDNO", "PROJECTS-1NF", ("DNO",))
+    plan = db.explain(
+        "SELECT d.DNO FROM d IN DEPARTMENTS-1NF, p IN PROJECTS-1NF "
+        "WHERE p.DNO = d.DNO"
+    )
+    assert "loop 2: p IN PROJECTS-1NF" in plan
+    assert "index nested loops (PDNO)" in plan
+
+
+def test_explain_inner_table_without_index_rescans():
+    db = make_1nf_join_db()
+    plan = db.explain(
+        "SELECT d.DNO FROM d IN DEPARTMENTS-1NF, p IN PROJECTS-1NF "
+        "WHERE p.DNO = d.DNO"
+    )
+    assert "full scan (re-scanned per outer binding)" in plan
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN / EXPLAIN ANALYZE as statements
+# ---------------------------------------------------------------------------
+
+
+def test_explain_statement_via_execute(paper_db):
+    plan = paper_db.execute("EXPLAIN SELECT x.DNO FROM x IN DEPARTMENTS")
+    assert isinstance(plan, str)
+    assert "query plan:" in plan
+    assert "loop 1: x IN DEPARTMENTS" in plan
+
+
+def test_explain_nested_is_rejected(paper_db):
+    from repro.errors import ParseError
+
+    with pytest.raises(ParseError):
+        paper_db.execute(
+            "EXPLAIN EXPLAIN SELECT x.DNO FROM x IN DEPARTMENTS"
+        )
+
+
+def test_explain_analyze_reports_actuals(paper_db):
+    text = paper_db.execute(
+        "EXPLAIN ANALYZE SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE x.BUDGET > 0"
+    )
+    assert "query plan (analyzed):" in text
+    assert "actual: 3 row(s) scanned" in text
+    assert "result: 3 row(s)" in text
+    assert "predicate evaluations: 3" in text
+    assert "timings:" in text
+    for phase in ("parse:", "bind:", "execute:", "total:"):
+        assert phase in text
+    assert "buffer (delta):" in text
+    assert "engine counters (delta):" in text
+    assert "storage.md_subtuple_reads" in text
+
+
+def test_explain_analyze_shows_predicted_and_actual_path(paper_db):
+    paper_db.create_index("FN", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    text = paper_db.execute(
+        "EXPLAIN ANALYZE SELECT x.DNO FROM x IN DEPARTMENTS "
+        "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+        "z.FUNCTION = 'Consultant'"
+    )
+    assert "index (FN)" in text
+    assert "index.probes" in text
+
+
+def test_explain_analyze_join_counts_lookups():
+    db = make_1nf_join_db()
+    db.create_index("PDNO", "PROJECTS-1NF", ("DNO",))
+    text = db.execute(
+        "EXPLAIN ANALYZE SELECT d.DNO FROM d IN DEPARTMENTS-1NF, "
+        "p IN PROJECTS-1NF WHERE p.DNO = d.DNO"
+    )
+    assert "index nested loops (PDNO)" in text
+    assert "join lookups: 3" in text
+    assert "index.btree_node_visits" in text
+
+
+def test_explain_analyze_restores_observability_state(paper_db):
+    from repro import obs
+
+    assert not obs.METRICS.enabled and not obs.TRACER.enabled
+    paper_db.execute("EXPLAIN ANALYZE SELECT x.DNO FROM x IN DEPARTMENTS")
+    assert not obs.METRICS.enabled and not obs.TRACER.enabled
+    # counters stop moving once the analyzed run is over
+    after = obs.METRICS.totals()
+    paper_db.query("SELECT x.DNO FROM x IN DEPARTMENTS")
+    assert obs.METRICS.totals() == after
+    obs.METRICS.clear()

@@ -1,7 +1,9 @@
 """Tests for the interactive shell's statement / dot-command handling."""
 
 import io
+import json
 
+from repro import obs
 from repro.database import Database
 from repro.datasets import paper
 from repro.shell import dot_command, execute_line, run_script
@@ -92,3 +94,84 @@ def test_save_on_memory_database_reports_error():
     out = io.StringIO()
     dot_command(db, ".save", out=out)
     assert "error" in out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# observability dot-commands
+# ---------------------------------------------------------------------------
+
+
+def test_execute_explain_prints_plan_text():
+    db = make_db()
+    out = io.StringIO()
+    execute_line(db, "EXPLAIN SELECT x.DNO FROM x IN DEPARTMENTS", out=out)
+    text = out.getvalue()
+    assert "query plan:" in text
+    assert "loop 1: x IN DEPARTMENTS" in text
+
+
+def test_execute_explain_analyze_prints_actuals():
+    db = make_db()
+    out = io.StringIO()
+    execute_line(
+        db, "EXPLAIN ANALYZE SELECT x.DNO FROM x IN DEPARTMENTS", out=out
+    )
+    text = out.getvalue()
+    assert "query plan (analyzed):" in text
+    assert "timings:" in text
+    obs.METRICS.clear()
+
+
+def test_dot_profile_toggles_observability():
+    db = make_db()
+    out = io.StringIO()
+    assert dot_command(db, ".profile on", out=out)
+    assert "profiling on" in out.getvalue()
+    assert obs.METRICS.enabled and obs.TRACER.enabled
+    out = io.StringIO()
+    dot_command(db, ".profile", out=out)
+    assert "currently on" in out.getvalue()
+    out = io.StringIO()
+    dot_command(db, ".profile off", out=out)
+    assert "profiling off" in out.getvalue()
+    assert not obs.METRICS.enabled and not obs.TRACER.enabled
+
+
+def test_dot_stats_includes_engine_counters_when_profiled():
+    db = make_db()
+    out = io.StringIO()
+    dot_command(db, ".profile on", out=out)
+    try:
+        execute_line(db, "SELECT x.DNO FROM x IN DEPARTMENTS", out=out)
+        out = io.StringIO()
+        dot_command(db, ".stats", out=out)
+        text = out.getvalue()
+        assert "engine counters:" in text
+        assert "storage.objects_opened" in text
+    finally:
+        dot_command(db, ".profile off", out=io.StringIO())
+        obs.METRICS.clear()
+        obs.TRACER.traces.clear()
+        obs.TRACER.last_trace = None
+
+
+def test_dot_trace_requires_a_finished_trace(tmp_path):
+    db = make_db()
+    out = io.StringIO()
+    dot_command(db, ".trace nope.json", out=out)
+    assert "no finished trace" in out.getvalue()
+    dot_command(db, ".profile on", out=io.StringIO())
+    try:
+        execute_line(db, "SELECT x.DNO FROM x IN DEPARTMENTS", out=io.StringIO())
+        path = tmp_path / "trace.json"
+        out = io.StringIO()
+        dot_command(db, f".trace {path}", out=out)
+        assert "wrote" in out.getvalue()
+        payload = json.loads(path.read_text())
+        names = [event["name"] for event in payload["traceEvents"]]
+        assert "statement" in names
+    finally:
+        dot_command(db, ".profile off", out=io.StringIO())
+        obs.METRICS.clear()
+        obs.TRACER.traces.clear()
+        obs.TRACER.last_trace = None
