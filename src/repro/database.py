@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import datetime
 import time
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
 from repro.catalog.catalog import Catalog, TableEntry
@@ -60,16 +61,46 @@ from repro.temporal.versions import Timestamp, VersionStore
 
 
 class Database:
-    """An embedded extended-NF2 DBMS instance."""
+    """An embedded extended-NF2 DBMS instance.
+
+    Disk-backed databases are durable by default: every statement (or
+    explicit :meth:`transaction` scope) commits through a write-ahead log
+    (``<path>.wal``), crash recovery replays the log on open, and page
+    checksums catch torn writes.  ``wal=False`` restores the paper's
+    original "single-user, no recovery component" behaviour where only
+    :meth:`save` persists.  See ``docs/DURABILITY.md``.
+    """
 
     def __init__(
         self,
         path: Optional[str] = None,
         buffer_capacity: int = 512,
         structure: StorageStructure = StorageStructure.SS3,
+        wal: bool = True,
+        wal_auto_checkpoint_bytes: int = 1 << 20,
+        page_checksums: bool = True,
+        pagedfile=None,
+        wal_io=None,
     ):
-        self._file = DiskPagedFile(path) if path else MemoryPagedFile()
-        self.buffer = BufferManager(self._file, capacity=buffer_capacity)
+        self._path = path
+        if pagedfile is not None:
+            self._file = pagedfile
+        else:
+            self._file = DiskPagedFile(path) if path else MemoryPagedFile()
+        #: the WAL manager (None: in-memory database or wal=False)
+        self.wal = None
+        #: what crash recovery did on open (None: nothing to recover)
+        self.last_recovery = None
+        wal_enabled = wal and path is not None
+        if wal_enabled:
+            from repro.wal.recovery import recover
+
+            self.last_recovery = recover(self._wal_path, self._file)
+        self.buffer = BufferManager(
+            self._file,
+            capacity=buffer_capacity,
+            checksums=bool(path is not None and page_checksums),
+        )
         self.catalog = Catalog()
         self.structure = structure
         self._executor = Executor(self)
@@ -81,7 +112,29 @@ class Database:
         self._clock = 0.0
         #: active transaction (single-user: at most one)
         self._active_txn: Optional["_Transaction"] = None
-        self._load_catalog()
+        recovered_state = (
+            self.last_recovery.catalog_state
+            if self.last_recovery is not None
+            else None
+        )
+        self._load_catalog(recovered_state)
+        if wal_enabled:
+            from repro.wal.manager import WalManager
+
+            self.wal = WalManager(
+                self._wal_path,
+                io=wal_io,
+                auto_checkpoint_bytes=wal_auto_checkpoint_bytes,
+            )
+            self.buffer.wal = self.wal
+            # A checkpoint right after open truncates the (possibly just
+            # replayed) log and establishes a durable baseline.
+            self.checkpoint()
+
+    @property
+    def _wal_path(self) -> str:
+        assert self._path is not None
+        return self._path + ".wal"
 
     def _next_timestamp(self, at: Optional[Timestamp]) -> Timestamp:
         from repro.temporal.versions import canonical_timestamp
@@ -91,6 +144,86 @@ class Database:
             return self._clock
         self._clock = max(self._clock, canonical_timestamp(at))
         return at
+
+    # ======================================================================
+    # Durability (WAL commit scope + checkpointing)
+    # ======================================================================
+
+    @contextmanager
+    def _wal_scope(self):
+        """An auto-commit WAL transaction around one mutating operation.
+
+        No-op when the database has no WAL or when a transaction (explicit
+        or an enclosing operation) is already open — nested mutations ride
+        on the outer commit.  On success the dirtied pages and a catalog
+        snapshot are logged and fsynced before control returns (the commit
+        acknowledgement).  On failure the scope converts to an aborted
+        transaction and immediately commits the *current* in-memory state
+        under a successor, so the durable state converges with memory; a
+        crash in between recovers to the pre-operation state.
+        """
+        wal = self.wal
+        if wal is None:
+            yield
+            return
+        if wal.failure is not None:
+            # a poisoned WAL (its commit path crashed earlier) must not let
+            # mutations through, even while a stale transaction flag from
+            # the failed commit is still set
+            raise wal.failure
+        if wal.in_txn:
+            yield
+            return
+        wal.begin()
+        try:
+            yield
+        except BaseException:
+            try:
+                wal.convert_abort()
+                wal.log_commit(self._catalog_state(), self.buffer.image_for_log)
+            except Exception as wal_exc:
+                # the WAL itself failed (e.g. injected crash): poison it so
+                # no later mutation slips past a log that stopped
+                # recording; the original error matters more here
+                wal.poison(wal_exc)
+            raise
+        try:
+            needs_checkpoint = wal.log_commit(
+                self._catalog_state(), self.buffer.image_for_log
+            )
+        except BaseException as exc:
+            wal.poison(exc)
+            raise
+        if needs_checkpoint:
+            if METRICS.enabled:
+                METRICS.inc("wal.auto_checkpoints")
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Flush all dirty pages, sync the data file, write the catalog
+        sidecar, and truncate the WAL to a single checkpoint record.
+
+        Runs automatically when the log outgrows
+        ``wal_auto_checkpoint_bytes``; the shell exposes ``.checkpoint``.
+        """
+        if self.wal is None:
+            raise StorageError_(
+                "checkpoint requires a WAL-enabled disk database"
+            )
+        if self.wal.in_txn:
+            from repro.errors import WalError
+
+            raise WalError("cannot checkpoint inside a transaction")
+        state = self._catalog_state()
+        if self.wal.protected_pages:
+            # stray unlogged changes (e.g. direct OpenObject mutation):
+            # fold them into a commit so the flush below is WAL-covered
+            self.wal.begin()
+            self.wal.log_commit(state, self.buffer.image_for_log)
+            state = self._catalog_state()
+        self.buffer.flush_all()
+        self.wal.checkpoint(state)
+        self._write_catalog_sidecar(state)
 
     # ======================================================================
     # DDL
@@ -114,6 +247,12 @@ class Database:
         )
         if versioning not in ("object", "subtuple"):
             raise TemporalError(f"unknown versioning strategy {versioning!r}")
+        with self._wal_scope():
+            return self._create_table_entry(schema, versioned, versioning)
+
+    def _create_table_entry(
+        self, schema: TableSchema, versioned: bool, versioning: str
+    ) -> TableSchema:
         segment = Segment(self.buffer, name=schema.name)
         entry = TableEntry(
             schema=schema,
@@ -141,7 +280,8 @@ class Database:
         return schema
 
     def drop_table(self, name: str) -> None:
-        self.catalog.drop_table(name)
+        with self._wal_scope():
+            self.catalog.drop_table(name)
 
     def create_index(
         self,
@@ -155,16 +295,17 @@ class Database:
         path = _as_path(attribute_path)
         definition = IndexDefinition(name=name, table=table, attribute_path=path, mode=mode)
         definition.validate_against(entry.schema)
-        if entry.is_flat:
-            index: Union[FlatIndex, NF2Index] = FlatIndex(definition)
-            self.catalog.add_index(table, name, index)
-            for tid, row in entry.heap.scan():  # type: ignore[union-attr]
-                index.index_row(tid, row[path[0]])
-        else:
-            index = NF2Index(definition)
-            self.catalog.add_index(table, name, index)
-            for tid in entry.tids:
-                index.index_object(entry.manager.open(tid, entry.schema))  # type: ignore[union-attr]
+        with self._wal_scope():
+            if entry.is_flat:
+                index: Union[FlatIndex, NF2Index] = FlatIndex(definition)
+                self.catalog.add_index(table, name, index)
+                for tid, row in entry.heap.scan():  # type: ignore[union-attr]
+                    index.index_row(tid, row[path[0]])
+            else:
+                index = NF2Index(definition)
+                self.catalog.add_index(table, name, index)
+                for tid in entry.tids:
+                    index.index_object(entry.manager.open(tid, entry.schema))  # type: ignore[union-attr]
 
     def create_text_index(
         self,
@@ -182,12 +323,14 @@ class Database:
         definition = IndexDefinition(name=name, table=table, attribute_path=path)
         index = TextIndex(definition, fragment_length=fragment_length)
         index.validate_against(entry.schema)
-        self.catalog.add_index(table, name, index)
-        for tid in entry.tids:
-            index.index_object(entry.manager.open(tid, entry.schema))  # type: ignore[union-attr]
+        with self._wal_scope():
+            self.catalog.add_index(table, name, index)
+            for tid in entry.tids:
+                index.index_object(entry.manager.open(tid, entry.schema))  # type: ignore[union-attr]
 
     def drop_index(self, name: str) -> None:
-        self.catalog.drop_index(name)
+        with self._wal_scope():
+            self.catalog.drop_index(name)
 
     def alter_table(
         self,
@@ -243,19 +386,21 @@ class Database:
         else:
             raise ExecutionError(f"unknown ALTER action {action!r}")
 
-        # Rewrite every stored tuple under the new schema.
-        rows = [self._fetch(entry, tid).to_plain() for tid in entry.tids]
-        for tid in list(entry.tids):
-            self.delete(table, tid)
         if entry.is_flat != new_schema.is_flat:
             raise ExecutionError(
                 "ALTER may not change a table between flat and nested"
             )
-        entry.schema = new_schema
-        if entry.is_flat:
-            entry.heap.schema = new_schema  # type: ignore[union-attr]
-        for row in rows:
-            self.insert(table, migrate(row))
+        # Rewrite every stored tuple under the new schema (one WAL commit:
+        # a crash mid-migration recovers to the pre-ALTER table).
+        with self._wal_scope():
+            rows = [self._fetch(entry, tid).to_plain() for tid in entry.tids]
+            for tid in list(entry.tids):
+                self.delete(table, tid)
+            entry.schema = new_schema
+            if entry.is_flat:
+                entry.heap.schema = new_schema  # type: ignore[union-attr]
+            for row in rows:
+                self.insert(table, migrate(row))
         # Re-anchor index definitions whose paths contain a renamed step.
         return new_schema
 
@@ -320,10 +465,21 @@ class Database:
         if self._active_txn is not None:
             self._txn_guard(entry)
             self._active_txn.touch(table)
-        return self._insert_value(entry, value, at)
+        with self._wal_scope():
+            return self._insert_value(entry, value, at)
 
     def _txn_guard(self, entry: TableEntry) -> None:
-        if self._active_txn is not None and entry.versioned:
+        if self._active_txn is None:
+            return
+        if entry.versioning == "subtuple":
+            raise ExecutionError(
+                f"table {entry.name!r} is subtuple-versioned and cannot be "
+                "mutated inside db.transaction(): the subtuple manager "
+                "writes version chains in place and rollback cannot "
+                "unwrite them (mutate it outside the transaction, or use "
+                "versioning='object')"
+            )
+        if entry.versioned:
             raise ExecutionError(
                 "versioned tables cannot be mutated inside a transaction "
                 "(their history cannot be unwritten)"
@@ -332,7 +488,9 @@ class Database:
     def insert_many(
         self, table: str, rows: Iterable[Any], at: Optional[Timestamp] = None
     ) -> list[TID]:
-        return [self.insert(table, row, at=at) for row in rows]
+        # one WAL commit for the whole batch (crash ⇒ all or nothing)
+        with self._wal_scope():
+            return [self.insert(table, row, at=at) for row in rows]
 
     def _insert_value(
         self, entry: TableEntry, value: TupleValue, at: Optional[Timestamp]
@@ -366,22 +524,23 @@ class Database:
         if self._active_txn is not None:
             self._txn_guard(entry)
             self._active_txn.touch(table)
-        self._deindex(entry, tid)
-        entry.tids.remove(tid)
-        if entry.temporal_manager is not None:
-            entry.temporal_manager.delete_object(
-                tid, entry.schema, self._next_timestamp(at)
-            )
-            entry.history_tids.append(tid)
-            return
-        if entry.version_store is not None:
-            object_id = entry.object_ids.pop(tid)
-            entry.version_store.record_delete(object_id, at=at)
-            return  # history keeps the stored bytes
-        if entry.is_flat:
-            entry.heap.delete(tid)  # type: ignore[union-attr]
-        else:
-            entry.manager.delete(tid, entry.schema)  # type: ignore[union-attr]
+        with self._wal_scope():
+            self._deindex(entry, tid)
+            entry.tids.remove(tid)
+            if entry.temporal_manager is not None:
+                entry.temporal_manager.delete_object(
+                    tid, entry.schema, self._next_timestamp(at)
+                )
+                entry.history_tids.append(tid)
+                return
+            if entry.version_store is not None:
+                object_id = entry.object_ids.pop(tid)
+                entry.version_store.record_delete(object_id, at=at)
+                return  # history keeps the stored bytes
+            if entry.is_flat:
+                entry.heap.delete(tid)  # type: ignore[union-attr]
+            else:
+                entry.manager.delete(tid, entry.schema)  # type: ignore[union-attr]
 
     def update(
         self,
@@ -403,34 +562,35 @@ class Database:
         if self._active_txn is not None:
             self._txn_guard(entry)
             self._active_txn.touch(table)
-        if entry.temporal_manager is not None:
-            when = self._next_timestamp(at)
+        with self._wal_scope():
+            if entry.temporal_manager is not None:
+                when = self._next_timestamp(at)
+                if isinstance(changes, dict):
+                    entry.temporal_manager.update_atoms(
+                        tid, entry.schema, [], changes, when
+                    )
+                else:
+                    changes(entry.temporal_manager.mutator(tid, entry.schema, when))
+                self._index_object(entry, tid)
+                return tid
+            if entry.version_store is not None:
+                return self._update_versioned(entry, tid, changes, at)
+            if entry.is_flat:
+                if not isinstance(changes, dict):
+                    raise ExecutionError("flat tables take a mapping of changes")
+                row = entry.heap.fetch(tid).replace(**changes)  # type: ignore[union-attr]
+                entry.heap.update(tid, row)  # type: ignore[union-attr]
+                for index in entry.indexes.values():
+                    assert isinstance(index, FlatIndex)
+                    index.index_row(tid, row[index.definition.attribute_path[0]])
+                return tid
+            obj = entry.manager.open(tid, entry.schema)  # type: ignore[union-attr]
             if isinstance(changes, dict):
-                entry.temporal_manager.update_atoms(
-                    tid, entry.schema, [], changes, when
-                )
+                obj.update_atoms([], changes)
             else:
-                changes(entry.temporal_manager.mutator(tid, entry.schema, when))
+                changes(obj)
             self._index_object(entry, tid)
             return tid
-        if entry.version_store is not None:
-            return self._update_versioned(entry, tid, changes, at)
-        if entry.is_flat:
-            if not isinstance(changes, dict):
-                raise ExecutionError("flat tables take a mapping of changes")
-            row = entry.heap.fetch(tid).replace(**changes)  # type: ignore[union-attr]
-            entry.heap.update(tid, row)  # type: ignore[union-attr]
-            for index in entry.indexes.values():
-                assert isinstance(index, FlatIndex)
-                index.index_row(tid, row[index.definition.attribute_path[0]])
-            return tid
-        obj = entry.manager.open(tid, entry.schema)  # type: ignore[union-attr]
-        if isinstance(changes, dict):
-            obj.update_atoms([], changes)
-        else:
-            changes(obj)
-        self._index_object(entry, tid)
-        return tid
 
     def _update_versioned(
         self,
@@ -513,7 +673,29 @@ class Database:
                 span.children.append(parse_span)
             return self._dispatch(statement)
 
+    #: statement types that mutate data or catalog — each executes as one
+    #: WAL commit (multi-row UPDATE/DELETE become all-or-nothing on crash)
+    _MUTATING_STATEMENTS = (
+        ast.InsertStatement,
+        ast.UpdateStatement,
+        ast.DeleteStatement,
+        ast.SubInsertStatement,
+        ast.SubUpdateStatement,
+        ast.SubDeleteStatement,
+        ast.CreateTableStatement,
+        ast.DropTableStatement,
+        ast.CreateIndexStatement,
+        ast.DropIndexStatement,
+        ast.AlterTableStatement,
+    )
+
     def _dispatch(self, statement: ast.Statement) -> Any:
+        if isinstance(statement, self._MUTATING_STATEMENTS):
+            with self._wal_scope():
+                return self._dispatch_inner(statement)
+        return self._dispatch_inner(statement)
+
+    def _dispatch_inner(self, statement: ast.Statement) -> Any:
         if isinstance(statement, ast.Query):
             return self._executor.run(statement)
         if isinstance(statement, ast.InsertStatement):
@@ -957,11 +1139,13 @@ class Database:
         if entry.manager is None or entry.temporal_manager is not None:
             raise ExecutionError("checkin applies to plain NF2 tables")
         if self._active_txn is not None:
+            self._txn_guard(entry)
             self._active_txn.touch(table)
-        tid = entry.manager.import_object(ObjectBundle.from_bytes(blob))
-        entry.tids.append(tid)
-        self._index_object(entry, tid)
-        return tid
+        with self._wal_scope():
+            tid = entry.manager.import_object(ObjectBundle.from_bytes(blob))
+            entry.tids.append(tid)
+            self._index_object(entry, tid)
+            return tid
 
     # -- tuple names -----------------------------------------------------------------
 
@@ -1170,8 +1354,8 @@ class Database:
 
     @property
     def _catalog_path(self) -> Optional[str]:
-        if isinstance(self._file, DiskPagedFile):
-            return self._file.path + ".catalog.json"
+        if self._path is not None:
+            return self._path + ".catalog.json"
         return None
 
     def save(self) -> None:
@@ -1179,15 +1363,26 @@ class Database:
 
         The catalog lives in a JSON sidecar next to the page file; value
         and text indexes are rebuilt on reopen (their definitions are
-        saved, not their trees).
+        saved, not their trees).  With a WAL attached this is simply a
+        checkpoint (pages flushed + synced, log truncated, sidecar
+        rewritten durably).
         """
-        import json
-
         path = self._catalog_path
         if path is None:
             raise StorageError_(
                 "save() needs a disk-backed database (pass path= to Database)"
             )
+        if self.wal is not None:
+            self.checkpoint()
+            return
+        state = self._catalog_state()
+        self.flush()
+        self._file.sync()  # pages must be durable before the catalog points at them
+        self._write_catalog_sidecar(state)
+
+    def _catalog_state(self) -> dict:
+        """The catalog serialized as plain JSON data (what the sidecar,
+        WAL commit records, and checkpoint records all carry)."""
         from repro.model.ddl import schema_to_ddl
 
         tables = []
@@ -1226,24 +1421,34 @@ class Database:
                     "indexes": indexes,
                 }
             )
-        self.flush()
-        # atomic replace: a crash mid-save must not corrupt the catalog
-        temp = path + ".tmp"
-        with open(temp, "w") as handle:
-            json.dump({"format": 1, "tables": tables}, handle)
-        import os
+        return {"format": 1, "tables": tables}
 
-        os.replace(temp, path)
-
-    def _load_catalog(self) -> None:
+    def _write_catalog_sidecar(self, state: dict) -> None:
+        """Atomically (and durably) replace the catalog sidecar file."""
         import json
         import os
 
         path = self._catalog_path
-        if path is None or not os.path.exists(path):
-            return
-        with open(path) as handle:
-            state = json.load(handle)
+        assert path is not None
+        temp = path + ".tmp"
+        with open(temp, "w") as handle:
+            json.dump(state, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+
+    def _load_catalog(self, state: Optional[dict] = None) -> None:
+        """Rebuild the catalog from *state* (recovered from the WAL) or,
+        failing that, from the JSON sidecar next to the page file."""
+        import json
+        import os
+
+        if state is None:
+            path = self._catalog_path
+            if path is None or not os.path.exists(path):
+                return
+            with open(path) as handle:
+                state = json.load(handle)
         from repro.model.ddl import parse_create_table
         from repro.storage.segment import Segment as _Segment
 
@@ -1304,7 +1509,14 @@ class Database:
         self.buffer.flush_all()
 
     def close(self) -> None:
-        self.flush()
+        if self.wal is not None:
+            try:
+                if self.wal.failure is None:
+                    self.checkpoint()
+            finally:
+                self.wal.close()
+        else:
+            self.flush()
         self._file.close()
 
     def __enter__(self) -> "Database":
@@ -1332,6 +1544,7 @@ class _Transaction:
     def __init__(self, db: Database):
         self._db = db
         self._snapshots: dict[str, list[dict]] = {}
+        self._owns_wal = False
 
     def touch(self, table: str) -> None:
         if table in self._snapshots:
@@ -1343,14 +1556,52 @@ class _Transaction:
     def __enter__(self) -> "_Transaction":
         if self._db._active_txn is not None:
             raise ExecutionError("a transaction is already active")
+        wal = self._db.wal
+        if wal is not None:
+            if wal.failure is not None:
+                raise wal.failure  # poisoned WAL: no new transactions
+            if not wal.in_txn:
+                wal.begin()  # may raise — before any state change
+                self._owns_wal = True
         self._db._active_txn = self
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self._db._active_txn = None
+        db = self._db
+        db._active_txn = None
+        wal = db.wal if self._owns_wal else None
         if exc_type is not None:
-            self.rollback()
-        return False  # propagate the exception after rolling back
+            if wal is not None:
+                try:
+                    # log an ABORT (the failed work becomes a loser), then
+                    # commit the rolled-back state under a successor txn so
+                    # the durable state converges with memory
+                    wal.convert_abort()
+                    self.rollback()
+                    wal.log_commit(
+                        db._catalog_state(), db.buffer.image_for_log
+                    )
+                except Exception as wal_exc:
+                    # WAL failure (e.g. injected crash): poison it so no
+                    # later mutation slips past a log that stopped
+                    # recording; the original exception matters more
+                    wal.poison(wal_exc)
+            else:
+                self.rollback()
+            return False  # propagate the exception after rolling back
+        if wal is not None:
+            try:
+                needs_checkpoint = wal.log_commit(
+                    db._catalog_state(), db.buffer.image_for_log
+                )
+            except BaseException as exc:
+                wal.poison(exc)
+                raise
+            if needs_checkpoint:
+                if METRICS.enabled:
+                    METRICS.inc("wal.auto_checkpoints")
+                db.checkpoint()
+        return False
 
     def rollback(self) -> None:
         """Restore every touched table to its snapshot."""

@@ -59,6 +59,16 @@ class BufferError_(StorageError):
     """Buffer-manager misuse (e.g. unpinning an unpinned page)."""
 
 
+class TornPageError(StorageError):
+    """A page read back from disk failed its checksum — the write was torn
+    (partially applied) or the medium corrupted the page."""
+
+
+class WalError(StorageError):
+    """Write-ahead-log misuse or corruption (bad record, commit outside a
+    transaction, checkpoint inside one, ...)."""
+
+
 # --------------------------------------------------------------------------
 # Catalog
 # --------------------------------------------------------------------------

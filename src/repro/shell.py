@@ -16,6 +16,8 @@ dot-commands::
     .storage             per-table storage report (pages, fill, MD/data)
     .verify              consistency check (CHECK TABLE)
     .save                persist (disk-backed databases)
+    .checkpoint          flush pages + truncate the write-ahead log
+    .wal                 WAL status (log size, commits, fsyncs, ...)
     .help                this text
     .quit                leave
 
@@ -148,6 +150,22 @@ def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
             print("saved", file=out)
         except ReproError as exc:
             print(f"error: {exc}", file=out)
+    elif command == ".checkpoint":
+        try:
+            db.checkpoint()
+            print("checkpoint complete (pages flushed, log truncated)", file=out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+    elif command == ".wal":
+        if db.wal is None:
+            print(
+                "no WAL (in-memory database or wal=False)", file=out
+            )
+        else:
+            for key, value in db.wal.stats().items():
+                print(f"  {key}: {value}", file=out)
+            if db.last_recovery is not None:
+                print(f"  last open: {db.last_recovery.summary()}", file=out)
     else:
         print(f"unknown command {command!r}; try .help", file=out)
     return True

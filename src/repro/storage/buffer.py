@@ -13,10 +13,16 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
-from repro.errors import BufferError_
+from repro.errors import BufferError_, TornPageError
 from repro.obs import METRICS
 from repro.storage.constants import PAGE_SIZE
-from repro.storage.page import Page
+from repro.storage.page import (
+    Page,
+    checksum_ok,
+    clear_checksum,
+    set_page_lsn,
+    stamp_checksum,
+)
 from repro.storage.pagedfile import PagedFile
 
 
@@ -95,15 +101,34 @@ class _Frame:
 
 
 class BufferManager:
-    """LRU buffer pool over a :class:`~repro.storage.pagedfile.PagedFile`."""
+    """LRU buffer pool over a :class:`~repro.storage.pagedfile.PagedFile`.
 
-    def __init__(self, file: PagedFile, capacity: int = 256):
+    When a :class:`~repro.wal.manager.WalManager` is attached the pool
+    enforces the durability rules: **WAL-before-data** (the log is fsynced
+    before any page write) and **no-steal** (pages with unlogged changes
+    are never written or evicted — redo-only recovery needs no undo).
+    With ``checksums=True`` every page written to the backend is stamped
+    with a CRC32 and every page read back is verified, turning torn writes
+    into :class:`~repro.errors.TornPageError` instead of silent corruption.
+    """
+
+    def __init__(
+        self,
+        file: PagedFile,
+        capacity: int = 256,
+        wal=None,
+        checksums: bool = False,
+    ):
         if capacity < 1:
             raise BufferError_("buffer capacity must be positive")
         self._file = file
         self._capacity = capacity
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
         self.stats = BufferStats()
+        #: attached WAL manager (None = no durability enforcement)
+        self.wal = wal
+        #: stamp-on-write / verify-on-read page checksums
+        self.checksums = checksums
 
     # -- page access -----------------------------------------------------------
 
@@ -115,6 +140,13 @@ class BufferManager:
         if frame is None:
             self._make_room()
             buffer = self._file.read_page(page_no)
+            if self.checksums and not checksum_ok(buffer):
+                if METRICS.enabled:
+                    METRICS.inc("buffer.torn_pages_detected")
+                raise TornPageError(
+                    f"page {page_no} failed its checksum: torn write or "
+                    "corruption (reopen the database to repair from the WAL)"
+                )
             self.stats.physical_reads += 1
             frame = _Frame(page_no, buffer)
             self._frames[page_no] = frame
@@ -135,6 +167,8 @@ class BufferManager:
             raise BufferError_(f"page {page_no} is not pinned")
         frame.pin_count -= 1
         frame.dirty = frame.dirty or dirty
+        if dirty and self.wal is not None:
+            self.wal.note_dirty(page_no)
 
     @contextmanager
     def page(self, page_no: int, dirty: bool = False) -> Iterator[Page]:
@@ -154,6 +188,8 @@ class BufferManager:
         frame.dirty = True
         self._frames[page_no] = frame
         frame.pin_count += 1
+        if self.wal is not None:
+            self.wal.note_dirty(page_no)
         self.stats.logical_reads += 1
         self.stats.pages_touched.add(page_no)
         if METRICS.enabled:
@@ -167,10 +203,37 @@ class BufferManager:
     def flush_page(self, page_no: int) -> None:
         frame = self._frames.get(page_no)
         if frame is not None and frame.dirty:
-            self._file.write_page(page_no, bytes(frame.buffer))
-            self.stats.physical_writes += 1
-            METRICS.inc("buffer.physical_writes")
+            if self.wal is not None and page_no in self.wal.protected_pages:
+                raise BufferError_(
+                    f"WAL-before-data violation: page {page_no} has "
+                    "unlogged changes (commit or checkpoint first)"
+                )
+            self._write_frame(frame)
             frame.dirty = False
+
+    def _write_frame(self, frame: _Frame) -> None:
+        """Write one frame to the backend honouring WAL-before-data and
+        stamping (or clearing) the torn-write checksum."""
+        if self.wal is not None:
+            self.wal.ensure_durable()
+        if self.checksums:
+            stamp_checksum(frame.buffer)
+        else:
+            clear_checksum(frame.buffer)
+        self._file.write_page(frame.page_no, bytes(frame.buffer))
+        self.stats.physical_writes += 1
+        METRICS.inc("buffer.physical_writes")
+
+    def image_for_log(self, page_no: int, lsn: int) -> bytes:
+        """The WAL's page-image hook: stamp *lsn* into the cached frame's
+        header and return the page bytes to log.  Dirty pages are always
+        cached (no-steal), but a clean page may have been evicted — then
+        the backend's copy is already the current image."""
+        frame = self._frames.get(page_no)
+        if frame is None:
+            return bytes(self._file.read_page(page_no))
+        set_page_lsn(frame.buffer, lsn)
+        return bytes(frame.buffer)
 
     def flush_all(self) -> None:
         for page_no in list(self._frames):
@@ -202,17 +265,25 @@ class BufferManager:
 
     def _make_room(self) -> None:
         while len(self._frames) >= self._capacity:
+            protected = (
+                self.wal.protected_pages if self.wal is not None else ()
+            )
             victim = None
             for page_no, frame in self._frames.items():
                 if frame.pin_count == 0:
+                    # no-steal: a dirty page whose changes are not yet in
+                    # the log must stay cached until its commit logs it
+                    if frame.dirty and page_no in protected:
+                        continue
                     victim = page_no
                     break
             if victim is None:
-                raise BufferError_("buffer pool exhausted: every frame pinned")
+                raise BufferError_(
+                    "buffer pool exhausted: every frame pinned or "
+                    "protected by an uncommitted transaction"
+                )
             frame = self._frames.pop(victim)
             if frame.dirty:
-                self._file.write_page(frame.page_no, bytes(frame.buffer))
-                self.stats.physical_writes += 1
-                METRICS.inc("buffer.physical_writes")
+                self._write_frame(frame)
             self.stats.evictions += 1
             METRICS.inc("buffer.evictions")

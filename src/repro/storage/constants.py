@@ -4,7 +4,17 @@
 PAGE_SIZE = 4096
 
 #: Bytes of the fixed page header (see :mod:`repro.storage.page`).
-PAGE_HEADER_SIZE = 8
+#: Layout: four u16 bookkeeping fields (slot count, free pointer, live
+#: records, fragmented bytes), then a u32 pageLSN stamped by the WAL when a
+#: page image is logged, then a u32 CRC32 checksum stamped when the page is
+#: written to disk (0 = unstamped) used to detect torn writes.
+PAGE_HEADER_SIZE = 16
+
+#: Offset of the u32 pageLSN field inside the page header.
+PAGE_LSN_OFFSET = 8
+
+#: Offset of the u32 CRC32 checksum field inside the page header.
+PAGE_CHECKSUM_OFFSET = 12
 
 #: Bytes per slot-directory entry (u16 offset + u16 length).
 SLOT_ENTRY_SIZE = 4

@@ -1,12 +1,14 @@
 """Slotted pages.
 
-Layout (all integers big-endian u16)::
+Layout (bookkeeping integers big-endian u16, durability fields u32)::
 
     0..2   slot_count          entries in the slot directory
     2..4   free_ptr            end of the used data region
     4..6   live_records        records currently stored
     6..8   fragmented_bytes    reclaimable space inside the data region
-    8..free_ptr                record data (flag byte + payload each)
+    8..12  page_lsn            LSN of the newest WAL record covering this page
+    12..16 checksum            CRC32 of the page (0 = unstamped), set on flush
+    16..free_ptr               record data (flag byte + payload each)
     ...                        free space
     end-4*slot_count..end      slot directory, growing backwards
 
@@ -22,18 +24,71 @@ forwarding when an update outgrows its page.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, Optional
+import zlib
+from typing import Iterator, Optional, Union
 
 from repro.errors import PageFullError, RecordNotFoundError, RecordTooLargeError, StorageError
 from repro.storage.constants import (
     FLAG_NORMAL,
     MAX_RECORD_SIZE,
+    PAGE_CHECKSUM_OFFSET,
     PAGE_HEADER_SIZE,
+    PAGE_LSN_OFFSET,
     PAGE_SIZE,
     SLOT_ENTRY_SIZE,
 )
 
 _U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+
+# ---------------------------------------------------------------------------
+# Durability helpers (pageLSN + torn-write checksum)
+# ---------------------------------------------------------------------------
+
+
+def compute_checksum(buffer: Union[bytes, bytearray, memoryview]) -> int:
+    """CRC32 over the whole page, excluding the checksum field itself.
+
+    Never returns 0 — a stored checksum of 0 means "page was written by a
+    path that does not stamp checksums, skip verification" (this keeps old
+    page files readable and lets checksums be ablated)."""
+    crc = zlib.crc32(bytes(buffer[:PAGE_CHECKSUM_OFFSET]))
+    crc = zlib.crc32(bytes(buffer[PAGE_CHECKSUM_OFFSET + 4:]), crc)
+    crc &= 0xFFFFFFFF
+    return crc or 1
+
+
+def stamp_checksum(buffer: bytearray) -> int:
+    """Compute and store the page checksum; returns the stamped value."""
+    crc = compute_checksum(buffer)
+    _U32.pack_into(buffer, PAGE_CHECKSUM_OFFSET, crc)
+    return crc
+
+
+def clear_checksum(buffer: bytearray) -> None:
+    """Mark the page as unstamped (checksum verification will skip it)."""
+    _U32.pack_into(buffer, PAGE_CHECKSUM_OFFSET, 0)
+
+
+def stored_checksum(buffer: Union[bytes, bytearray]) -> int:
+    return _U32.unpack_from(buffer, PAGE_CHECKSUM_OFFSET)[0]
+
+
+def checksum_ok(buffer: Union[bytes, bytearray]) -> bool:
+    """True when the page has no stamped checksum or the stamp matches."""
+    stored = stored_checksum(buffer)
+    return stored == 0 or stored == compute_checksum(buffer)
+
+
+def get_page_lsn(buffer: Union[bytes, bytearray]) -> int:
+    return _U32.unpack_from(buffer, PAGE_LSN_OFFSET)[0]
+
+
+def set_page_lsn(buffer: bytearray, lsn: int) -> None:
+    """Stamp the pageLSN (truncated to u32; the WAL is checkpoint-truncated
+    long before offsets approach 4 GiB)."""
+    _U32.pack_into(buffer, PAGE_LSN_OFFSET, lsn & 0xFFFFFFFF)
 
 
 class Page:
@@ -60,7 +115,14 @@ class Page:
         page._set_free_ptr(PAGE_HEADER_SIZE)
         page._set_live_records(0)
         page._set_fragmented(0)
+        set_page_lsn(buffer, 0)
+        clear_checksum(buffer)
         return page
+
+    @property
+    def page_lsn(self) -> int:
+        """LSN of the newest WAL record that logged this page's image."""
+        return get_page_lsn(self.buffer)
 
     # -- header accessors ---------------------------------------------------
 

@@ -115,7 +115,13 @@ class DiskPagedFile(PagedFile):
         os.fsync(self._file.fileno())
 
     def close(self) -> None:
-        self._file.close()
+        # Durability: cached writes must reach the medium before the
+        # handle goes away — close() used to drop straight to close(),
+        # losing OS-buffered pages on a post-close power failure.
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
 
     def _check(self, page_no: int) -> None:
         if not 0 <= page_no < self._page_count:

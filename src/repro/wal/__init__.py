@@ -1,0 +1,40 @@
+"""Write-ahead logging, crash recovery, checkpoints, and fault injection.
+
+The paper's AIM-II prototype ran single-user with *no recovery component*;
+this package is the reproduction's step beyond it: redo-only write-ahead
+logging with full-page after-images, a no-steal buffer policy (so losers
+never reach the data file and no undo pass exists), fuzzy-free sharp
+checkpoints that truncate the log, per-page torn-write checksums, and a
+crash fault-injection harness that the recovery tests drive.
+
+See ``docs/DURABILITY.md`` for the record format and the recovery
+algorithm, and :mod:`repro.wal.faults` for the crash-simulation model.
+"""
+
+from repro.wal.manager import WalIO, WalManager
+from repro.wal.record import (
+    REC_ABORT,
+    REC_BEGIN,
+    REC_CHECKPOINT,
+    REC_COMMIT,
+    REC_PAGE_IMAGE,
+    WalRecord,
+    encode_record,
+    iter_records,
+)
+from repro.wal.recovery import RecoveryResult, recover
+
+__all__ = [
+    "WalIO",
+    "WalManager",
+    "WalRecord",
+    "RecoveryResult",
+    "recover",
+    "encode_record",
+    "iter_records",
+    "REC_BEGIN",
+    "REC_COMMIT",
+    "REC_ABORT",
+    "REC_PAGE_IMAGE",
+    "REC_CHECKPOINT",
+]

@@ -1,0 +1,214 @@
+"""Crash fault injection for durability testing.
+
+The harness models the two things a real crash does that ordinary tests
+cannot: **unsynced writes vanish** and **in-flight writes may tear**.
+
+* :class:`CrashClock` — a countdown over I/O events.  Every page write,
+  page sync, WAL append, and WAL fsync ticks the clock; when the countdown
+  reaches zero the clock goes dead and raises :class:`CrashPoint` — from
+  then on *every* faulted operation raises, so the engine object is
+  poisoned exactly like a killed process.
+* :class:`FaultyPagedFile` — wraps a real :class:`DiskPagedFile` with a
+  write-back cache: ``write_page`` stages in memory; only ``sync`` applies
+  staged pages to the underlying file and fsyncs it.  A crash therefore
+  discards everything not yet synced — if the engine forgets an fsync, the
+  test sees the data loss.  In ``torn`` mode, the write in flight at crash
+  time half-applies (first half new bytes, second half old) to the real
+  file, simulating a torn sector write for the checksum machinery to catch.
+* :class:`FaultyWalIO` — the same discipline for the log: appends stage in
+  memory, ``fsync`` persists.  A crash during fsync can leave a torn tail
+  (a prefix of the staged bytes) for the recovery scan to truncate.
+
+Typical use::
+
+    clock = CrashClock(countdown=17, torn=True)
+    inner = DiskPagedFile(path)
+    db = Database(
+        path=path,
+        pagedfile=FaultyPagedFile(inner, clock),
+        wal_io=FaultyWalIO(path + ".wal", clock),
+    )
+    try:
+        workload(db)
+    except CrashPoint:
+        pass                      # the "process" died here
+    recovered = Database(path=path)   # replays the WAL
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.storage.constants import PAGE_SIZE
+from repro.storage.pagedfile import PagedFile
+from repro.wal.manager import WalIO
+
+
+class CrashPoint(ReproError):
+    """An injected crash: the simulated process is dead."""
+
+
+class CrashClock:
+    """Countdown over faulted I/O events.
+
+    *countdown* is the number of I/O events to allow before crashing
+    (None = never crash spontaneously).  *torn* makes the I/O in flight at
+    crash time half-apply.  *fail_sync* restricts the crash to sync/fsync
+    events (modelling a device that drops its cache on power loss).
+    """
+
+    def __init__(
+        self,
+        countdown: Optional[int] = None,
+        torn: bool = False,
+        fail_sync: bool = False,
+    ):
+        self.countdown = countdown
+        self.torn = torn
+        self.fail_sync = fail_sync
+        self.dead = False
+        self.ops = 0
+        self.crashed_on: Optional[str] = None
+
+    def check(self) -> None:
+        """Raise immediately if the clock is already dead."""
+        if self.dead:
+            raise CrashPoint(f"crashed earlier on {self.crashed_on}")
+
+    def tick(self, kind: str) -> bool:
+        """Count one I/O event; returns True when this event must crash
+        (the caller applies torn semantics first, then raises)."""
+        self.check()
+        self.ops += 1
+        if self.countdown is None:
+            return False
+        if self.fail_sync and "sync" not in kind:
+            return False
+        self.countdown -= 1
+        if self.countdown <= 0:
+            self.dead = True
+            self.crashed_on = kind
+            return True
+        return False
+
+
+class FaultyPagedFile(PagedFile):
+    """Write-back cache over a real paged file, driven by a CrashClock."""
+
+    def __init__(self, inner: PagedFile, clock: CrashClock):
+        self._inner = inner
+        self._clock = clock
+        #: staged page writes not yet synced to the real file
+        self._staged: dict[int, bytes] = {}
+        self.path = getattr(inner, "path", None)
+
+    def read_page(self, page_no: int) -> bytearray:
+        self._clock.check()
+        staged = self._staged.get(page_no)
+        if staged is not None:
+            return bytearray(staged)
+        return self._inner.read_page(page_no)
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        if self._clock.tick("write_page"):
+            if self._clock.torn and page_no < self._inner.page_count:
+                half = PAGE_SIZE // 2
+                old = self._inner.read_page(page_no)
+                self._inner.write_page(
+                    page_no, bytes(data[:half]) + bytes(old[half:])
+                )
+                self._inner.sync()
+            raise CrashPoint(f"crash during write of page {page_no}")
+        self._staged[page_no] = bytes(data)
+
+    def allocate_page(self) -> int:
+        # File growth is forwarded eagerly: a grown-but-unsynced file keeps
+        # zero pages, which carry no checksum and no catalog references —
+        # harmless after a crash, exactly like a real filesystem extend.
+        self._clock.check()
+        return self._inner.allocate_page()
+
+    @property
+    def page_count(self) -> int:
+        return self._inner.page_count
+
+    def sync(self) -> None:
+        if self._clock.tick("page_sync"):
+            # a crash mid-sync persists an arbitrary subset: model "some
+            # staged pages made it" by applying half of them
+            for page_no in sorted(self._staged)[: max(0, len(self._staged) // 2)]:
+                self._inner.write_page(page_no, self._staged[page_no])
+            self._inner.sync()
+            raise CrashPoint("crash during data-file sync")
+        for page_no, data in sorted(self._staged.items()):
+            self._inner.write_page(page_no, data)
+        self._staged.clear()
+        self._inner.sync()
+
+    def close(self) -> None:
+        if not self._clock.dead:
+            self.sync()
+        self._inner.close()
+
+    def abandon(self) -> None:
+        """Release the OS handle after a crash without flushing staged
+        writes (the simulated process is gone; its cache is lost)."""
+        self._staged.clear()
+        self._inner.close()
+
+
+class FaultyWalIO(WalIO):
+    """WAL I/O with staged appends and crash/torn-tail injection."""
+
+    def __init__(self, path: str, clock: CrashClock):
+        super().__init__(path)
+        self._clock = clock
+        self._staged = bytearray()
+
+    @property
+    def size(self) -> int:
+        return self._size + len(self._staged)
+
+    def append(self, data: bytes) -> int:
+        if self._clock.tick("wal_append"):
+            raise CrashPoint("crash during WAL append")
+        offset = self.size
+        self._staged += data
+        return offset
+
+    def fsync(self) -> None:
+        if self._clock.tick("wal_fsync"):
+            if self._clock.torn and self._staged:
+                # a torn tail: a prefix of the staged bytes reached disk
+                torn = bytes(self._staged[: max(1, len(self._staged) // 2)])
+                self._file.seek(self._size)
+                self._file.write(torn)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            raise CrashPoint("crash during WAL fsync")
+        if self._staged:
+            self._file.seek(self._size)
+            self._file.write(bytes(self._staged))
+            self._size += len(self._staged)
+            self._staged.clear()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def reset_with(self, data: bytes) -> None:
+        if self._clock.tick("wal_reset"):
+            raise CrashPoint("crash during WAL checkpoint truncation")
+        self._staged.clear()
+        super().reset_with(data)
+
+    def close(self) -> None:
+        if self._clock.dead:
+            self._file.close()
+            return
+        self.fsync()
+        self._file.close()
+
+    def abandon(self) -> None:
+        self._staged.clear()
+        self._file.close()

@@ -1,0 +1,298 @@
+"""The write-ahead-log manager.
+
+``WalManager`` owns the log file of one database and enforces the two
+classic invariants on behalf of the engine:
+
+* **WAL-before-data** — the buffer manager calls :meth:`ensure_durable`
+  before any physical page write, which fsyncs unsynced log records first;
+  pages dirtied by the *active* (not yet committed) transaction are
+  reported through :attr:`protected_pages` and must not be written or
+  evicted at all (a no-steal policy: redo-only recovery never needs undo
+  on the data file).
+* **log-then-commit** — :meth:`log_commit` appends the after-images of
+  every page the transaction dirtied, stamps each frame's pageLSN, appends
+  the ``COMMIT`` record carrying the catalog snapshot, and fsyncs; only
+  after the fsync returns is the commit acknowledged.
+
+Checkpoints truncate the log: after the caller has flushed all dirty pages
+and synced the data file, :meth:`checkpoint` atomically replaces the log
+with a single ``CHECKPOINT`` record holding the catalog snapshot.
+``should_checkpoint`` drives the auto-checkpoint policy (log bytes since
+the last checkpoint exceed a threshold).
+
+The file I/O runs through a small :class:`WalIO` seam so that the fault
+harness (:mod:`repro.wal.faults`) can interpose staged writes, torn tails,
+and injected crashes without touching the manager's logic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional
+
+from repro.errors import WalError
+from repro.obs import METRICS
+from repro.wal.record import (
+    REC_ABORT,
+    REC_BEGIN,
+    REC_CHECKPOINT,
+    REC_COMMIT,
+    REC_PAGE_IMAGE,
+    encode_catalog,
+    encode_page_image,
+    encode_record,
+)
+
+
+class WalIO:
+    """Append-only log file with explicit fsync and atomic truncation."""
+
+    def __init__(self, path: str):
+        self.path = path
+        if not os.path.exists(path):
+            with open(path, "wb"):
+                pass
+        self._file = open(path, "r+b")
+        self._file.seek(0, os.SEEK_END)
+        self._size = self._file.tell()
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def append(self, data: bytes) -> int:
+        """Append *data*; returns the offset it was written at."""
+        offset = self._size
+        self._file.seek(offset)
+        self._file.write(data)
+        self._size += len(data)
+        return offset
+
+    def fsync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def reset_with(self, data: bytes) -> None:
+        """Atomically replace the log's contents with *data* (durably)."""
+        temp = self.path + ".tmp"
+        with open(temp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+        self._file.close()
+        self._file = open(self.path, "r+b")
+        self._file.seek(0, os.SEEK_END)
+        self._size = self._file.tell()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+
+
+class WalManager:
+    """Transactional redo logging over one :class:`WalIO`."""
+
+    def __init__(
+        self,
+        path: str,
+        io: Optional[WalIO] = None,
+        auto_checkpoint_bytes: int = 1 << 20,
+    ):
+        self.path = path
+        self._io = io if io is not None else WalIO(path)
+        self.auto_checkpoint_bytes = auto_checkpoint_bytes
+        self._prev_lsn = 0
+        self._txn: Optional[int] = None
+        self._next_txn = 1
+        #: pages dirtied since the last commit/checkpoint — not yet covered
+        #: by a durable log record, so the buffer must not write them out
+        self._dirty: set[int] = set()
+        self._pending_sync = False
+        self._bytes_since_checkpoint = self._io.size
+        #: first unrecoverable failure of the commit path (a crashed or
+        #: failing log device).  Once set, the manager is *poisoned*:
+        #: every further WAL operation re-raises it, so no mutation can
+        #: slip past a log that stopped recording — exactly like a real
+        #: engine panicking when it cannot write its log.
+        self.failure: Optional[BaseException] = None
+        #: cumulative counters (mirrored into METRICS when enabled)
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.fsyncs = 0
+        self.commits = 0
+        self.aborts = 0
+        self.checkpoints = 0
+
+    # -- transaction lifecycle ------------------------------------------------
+
+    @property
+    def in_txn(self) -> bool:
+        return self._txn is not None
+
+    @property
+    def protected_pages(self) -> set[int]:
+        """Pages with unlogged changes — the buffer's no-steal set."""
+        return self._dirty
+
+    def poison(self, exc: BaseException) -> None:
+        """Mark the WAL as failed; keeps the *first* failure."""
+        if self.failure is None:
+            self.failure = exc
+
+    def _check_alive(self) -> None:
+        if self.failure is not None:
+            raise self.failure
+
+    def begin(self) -> int:
+        self._check_alive()
+        if self._txn is not None:
+            raise WalError("a WAL transaction is already active")
+        self._txn = self._next_txn
+        self._next_txn += 1
+        self._append(REC_BEGIN, self._txn, b"")
+        return self._txn
+
+    def note_dirty(self, page_no: int) -> None:
+        """Record that *page_no* was dirtied (called from the buffer)."""
+        self._dirty.add(page_no)
+
+    def log_commit(
+        self,
+        catalog_state: Any,
+        get_image: Callable[[int, int], bytes],
+    ) -> bool:
+        """Make the active transaction durable.
+
+        *get_image(page_no, lsn)* must stamp *lsn* into the page's header
+        and return the page's current bytes.  Returns True when the caller
+        should run an auto-checkpoint (log grew past the threshold).
+        """
+        self._check_alive()
+        if self._txn is None:
+            raise WalError("log_commit outside a WAL transaction")
+        txn = self._txn
+        for page_no in sorted(self._dirty):
+            lsn = self._io.size
+            image = get_image(page_no, lsn)
+            self._append(REC_PAGE_IMAGE, txn, encode_page_image(page_no, image))
+        self._append(REC_COMMIT, txn, encode_catalog(catalog_state))
+        self.flush()
+        self._dirty.clear()
+        self._txn = None
+        self.commits += 1
+        if METRICS.enabled:
+            METRICS.inc("wal.commits")
+        return self._bytes_since_checkpoint >= self.auto_checkpoint_bytes
+
+    def convert_abort(self) -> int:
+        """Abort the active transaction and open a successor that inherits
+        its dirty pages.
+
+        The in-memory effects of an aborted scope are either rolled back
+        (explicit transactions) or left as-is (a failed auto-commit
+        operation); in both cases the caller next re-commits the pages'
+        *current* state under the successor transaction so the durable
+        state converges with memory.  A crash before that commit makes the
+        successor a loser — recovery discards it and the disk keeps the
+        pre-transaction state (no-steal guarantees none of these pages
+        were flushed).
+        """
+        self._check_alive()
+        if self._txn is None:
+            raise WalError("convert_abort outside a WAL transaction")
+        self._append(REC_ABORT, self._txn, b"")
+        self.aborts += 1
+        if METRICS.enabled:
+            METRICS.inc("wal.aborts")
+        self._txn = self._next_txn
+        self._next_txn += 1
+        self._append(REC_BEGIN, self._txn, b"")
+        return self._txn
+
+    # -- durability ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """fsync appended records (no-op when everything is durable)."""
+        self._check_alive()
+        if not self._pending_sync:
+            return
+        self._io.fsync()
+        self._pending_sync = False
+        self.fsyncs += 1
+        if METRICS.enabled:
+            METRICS.inc("wal.fsyncs")
+
+    def ensure_durable(self) -> None:
+        """The WAL-before-data hook: called by the buffer manager right
+        before it writes any page to the data file."""
+        self.flush()
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def should_checkpoint(self) -> bool:
+        return self._bytes_since_checkpoint >= self.auto_checkpoint_bytes
+
+    def checkpoint(self, catalog_state: Any) -> None:
+        """Truncate the log to a single CHECKPOINT record.
+
+        The caller must already have flushed every dirty page and synced
+        the data file — after that, the old log is redundant: replaying it
+        would only rewrite pages with the bytes they already hold.
+        """
+        self._check_alive()
+        if self._txn is not None:
+            raise WalError("cannot checkpoint inside a transaction")
+        payload = encode_catalog(catalog_state)
+        record = encode_record(0, 0, REC_CHECKPOINT, 0, payload)
+        self._io.reset_with(record)
+        self._prev_lsn = 0
+        self._dirty.clear()
+        self._pending_sync = False
+        self._bytes_since_checkpoint = 0
+        self.checkpoints += 1
+        self.records_appended += 1
+        self.bytes_appended += len(record)
+        if METRICS.enabled:
+            METRICS.inc("wal.checkpoints")
+            METRICS.inc("wal.records_appended")
+            METRICS.inc("wal.bytes_appended", len(record))
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "path": self.path,
+            "size_bytes": self._io.size,
+            "bytes_since_checkpoint": self._bytes_since_checkpoint,
+            "auto_checkpoint_bytes": self.auto_checkpoint_bytes,
+            "records_appended": self.records_appended,
+            "bytes_appended": self.bytes_appended,
+            "fsyncs": self.fsyncs,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "checkpoints": self.checkpoints,
+            "in_txn": self.in_txn,
+            "unlogged_dirty_pages": len(self._dirty),
+        }
+
+    def close(self) -> None:
+        self._io.close()
+
+    # -- internal ----------------------------------------------------------------
+
+    def _append(self, rtype: int, txn: int, payload: bytes) -> int:
+        lsn = self._io.size
+        data = encode_record(lsn, self._prev_lsn, rtype, txn, payload)
+        self._io.append(data)
+        self._prev_lsn = lsn
+        self._pending_sync = True
+        self._bytes_since_checkpoint += len(data)
+        self.records_appended += 1
+        self.bytes_appended += len(data)
+        if METRICS.enabled:
+            METRICS.inc("wal.records_appended")
+            METRICS.inc("wal.bytes_appended", len(data))
+        return lsn

@@ -84,6 +84,51 @@ def test_versioned_tables_rejected_inside_transaction():
             db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[1])
 
 
+def test_subtuple_versioned_tables_rejected_with_clear_error():
+    db = Database()
+    db.create_table(
+        paper.DEPARTMENTS_SCHEMA, versioned=True, versioning="subtuple"
+    )
+    tid = db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[0], at=1.0)
+    with db.transaction():
+        with pytest.raises(ExecutionError) as excinfo:
+            db.update("DEPARTMENTS", tid, {"BUDGET": 1}, at=2.0)
+        message = str(excinfo.value)
+        assert "subtuple-versioned" in message
+        assert "versioning='object'" in message
+        with pytest.raises(ExecutionError, match="subtuple-versioned"):
+            db.insert("DEPARTMENTS", paper.DEPARTMENTS_ROWS[1], at=2.0)
+        with pytest.raises(ExecutionError, match="subtuple-versioned"):
+            db.delete("DEPARTMENTS", tid, at=2.0)
+    # outside the transaction the same mutation works fine
+    db.update("DEPARTMENTS", tid, {"BUDGET": 1}, at=2.0)
+
+
+def test_transaction_commit_and_rollback_are_durable(tmp_path):
+    """Explicit transactions ride the WAL: a committed scope survives a
+    reopen without save(); a rolled-back scope leaves no durable trace."""
+    path = str(tmp_path / "txn.db")
+    db = Database(path=path)
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.insert_many("DEPARTMENTS", paper.DEPARTMENTS_ROWS)
+    with db.transaction():
+        db.execute("UPDATE DEPARTMENTS x SET BUDGET = 1 WHERE x.DNO = 314")
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            db.execute("DELETE FROM DEPARTMENTS x WHERE x.DNO = 218")
+            raise RuntimeError("boom")
+    # no save(), no close(): reopen recovers from the log alone
+    again = Database(path=path)
+    result = again.query(
+        "SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS ORDER BY x.DNO"
+    )
+    assert [(r["DNO"], r["BUDGET"]) for r in result] == [
+        (218, 440_000), (314, 1), (417, 360_000),
+    ]
+    assert again.verify() == []
+    again.close()
+
+
 def test_queries_inside_transaction_see_own_writes():
     db = fresh()
     with db.transaction():
