@@ -18,6 +18,7 @@ from repro.errors import (
     UnknownTableError,
 )
 from repro.index.manager import FlatIndex, NF2Index
+from repro.index.stats import IndexStatistics
 from repro.index.text import TextIndex
 from repro.model.schema import TableSchema
 from repro.storage.complex_object import ComplexObjectManager
@@ -68,6 +69,11 @@ class TableEntry:
 
     def text_indexes(self) -> list[TextIndex]:
         return [i for i in self.indexes.values() if isinstance(i, TextIndex)]
+
+    def index_stats(self) -> dict[str, "IndexStatistics"]:
+        """Cost-model statistics per index (see ``index/stats.py``) — what
+        the planner scores and the shell's ``.indexes`` displays."""
+        return {name: index.stats for name, index in self.indexes.items()}
 
 
 class Catalog:

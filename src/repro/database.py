@@ -48,7 +48,11 @@ from repro.obs import METRICS, Span, TRACER
 from repro.query import ast
 from repro.query.executor import Executor
 from repro.query.parser import parse_statement
-from repro.query.planner import candidate_roots, extract_conditions
+from repro.query.planner import (
+    candidate_roots,
+    candidate_roots_first_match,
+    extract_conditions,
+)
 from repro.render import render_table
 from repro.storage.buffer import BufferManager
 from repro.storage.complex_object import ComplexObjectManager, OpenObject
@@ -106,6 +110,11 @@ class Database:
         self._executor = Executor(self)
         #: set False to disable index-based access paths (benchmarks use it)
         self.use_access_paths = True
+        #: access-path selection strategy: ``"cost"`` (statistics-based,
+        #: the default) or ``"first-match"`` (the pre-cost-model baseline,
+        #: kept for A/B ablation — see benchmarks/test_ablation_planner.py
+        #: and docs/PLANNER.md)
+        self.planner_mode = "cost"
         #: filled by iterate_table_for_query with the last plan decision
         self.last_plan = None
         #: logical clock for default timestamps on subtuple-versioned tables
@@ -801,7 +810,17 @@ class Database:
                 return ["  access: full scan (WHERE not index-coverable)"]
             if not conditions:
                 return ["  access: full scan (no indexable conditions)"]
-            roots, report = candidate_roots(entry, conditions)
+            if self.planner_mode == "first-match":
+                roots, report = candidate_roots_first_match(entry, conditions)
+                candidates = len(roots) if roots is not None else 0
+            else:
+                roots, report = candidate_roots(
+                    entry,
+                    conditions,
+                    order_by=self._order_pushdown_path(statement, range_.var),
+                )
+                # drain the candidate stream: EXPLAIN reports the count
+                candidates = sum(1 for _ in roots) if roots is not None else 0
             if roots is None:
                 return [
                     "  access: full scan (no matching index; "
@@ -809,12 +828,36 @@ class Database:
                 ]
             lines = [
                 f"  access: index ({', '.join(report.used_indexes)}) -> "
-                f"{len(roots)} candidate object(s)"
+                f"{candidates} candidate object(s)"
             ]
+            if report.estimated_candidates is not None:
+                lines.append(
+                    "  cost model: estimated "
+                    f"{report.estimated_candidates:g} candidate(s); "
+                    "intersection in ascending-selectivity order"
+                )
+            if report.considered and len(report.considered) > len(
+                report.used_indexes
+            ):
+                scored = ", ".join(
+                    f"{name}={estimate:g}"
+                    for name, estimate in report.considered
+                )
+                lines.append(f"  considered: {scored}")
+            if report.early_exit:
+                lines.append(
+                    "  early exit: intersection emptied before all index "
+                    "probes"
+                )
             if report.prefix_joins:
                 lines.append(
                     f"  prefix joins on hierarchical addresses: "
                     f"{report.prefix_joins}"
+                )
+            if report.sort_elided:
+                lines.append(
+                    "  order: index key order matches ORDER BY "
+                    "(final sort elided)"
                 )
             return lines
         # inner table range: index nested loops when an equality conjunct
@@ -916,6 +959,27 @@ class Database:
                     f"  predicate evaluations: {profile.predicate_evals}"
                     f"  join lookups: {profile.join_lookups}"
                 )
+            plan = self.last_plan
+            if plan is not None and plan.used_any:
+                lines.append("planner (analyzed):")
+                lines.append(
+                    "  indexes (selectivity order): "
+                    + ", ".join(plan.used_indexes)
+                )
+                estimated = (
+                    f"{plan.estimated_candidates:g}"
+                    if plan.estimated_candidates is not None
+                    else "?"
+                )
+                lines.append(
+                    f"  estimated candidates: {estimated}"
+                    f"  actual candidates: {plan.actual_candidates}"
+                )
+                lines.append(
+                    f"  prefix joins: {plan.prefix_joins}"
+                    f"  early exit: {'yes' if plan.early_exit else 'no'}"
+                    f"  sort elided: {'yes' if plan.sort_elided else 'no'}"
+                )
         else:
             lines.append(f"statement: {type(target).__name__}")
             lines.append(f"  result: {result!r}")
@@ -1000,6 +1064,14 @@ class Database:
         query: ast.Query,
         var: str,
     ) -> Iterator[TupleValue]:
+        """Stream the tuples of *name* relevant to *query*'s range *var*.
+
+        When indexes cover the WHERE clause, candidate roots *stream* out
+        of the planner's generator straight into object fetch — the first
+        qualifying tuple is delivered before the last index posting is
+        examined (Volcano-style; materialization only happens where the
+        cost model intersects posting sets).
+        """
         entry = self.catalog.table(name)
         self.last_plan = None
         if self.use_access_paths and asof is None and entry.indexes:
@@ -1007,13 +1079,29 @@ class Database:
                 conditions = extract_conditions(query, var)
                 roots = report = None
                 if conditions:
-                    roots, report = candidate_roots(entry, conditions)
+                    if self.planner_mode == "first-match":
+                        roots, report = candidate_roots_first_match(
+                            entry, conditions
+                        )
+                    else:
+                        roots, report = candidate_roots(
+                            entry,
+                            conditions,
+                            order_by=self._order_pushdown_path(query, var),
+                        )
                 if span is not None:
                     span.annotate(
                         access="index" if roots is not None else "full scan",
-                        candidates=len(roots) if roots is not None else None,
+                        estimated=(
+                            report.estimated_candidates
+                            if report is not None
+                            else None
+                        ),
                         indexes=(
                             list(report.used_indexes) if report is not None else []
+                        ),
+                        sort_elided=bool(
+                            report is not None and report.sort_elided
                         ),
                     )
             if roots is not None:
@@ -1029,12 +1117,38 @@ class Database:
             METRICS.inc("query.scan_plans")
         yield from self.iterate_table(name, asof)
 
+    @staticmethod
+    def _order_pushdown_path(
+        query: ast.Query, var: str
+    ) -> Optional[tuple[str, ...]]:
+        """The attribute path an interesting-order pushdown could sort by:
+        exactly one ascending ORDER BY item that is a plain
+        single-attribute path on *var* (the planned range variable).  The
+        planner compares it against its chosen index's key order and sets
+        ``sort_elided`` when the B+-tree scan already delivers it."""
+        if len(query.order_by) != 1:
+            return None
+        item = query.order_by[0]
+        if item.descending:
+            return None
+        expr = item.expr
+        if not (
+            isinstance(expr, ast.Path)
+            and expr.var == var
+            and len(expr.attribute_names) == 1
+            and not expr.has_subscript
+        ):
+            return None
+        return expr.attribute_names
+
     def lookup_rows(
         self, name: str, attribute: str, value: Any
-    ) -> Optional[list[TupleValue]]:
+    ) -> Optional[Iterable[TupleValue]]:
         """Index-nested-loop support: the current tuples of *name* whose
         top-level *attribute* equals *value*, answered through an index —
-        ``None`` when no suitable index exists (callers scan)."""
+        ``None`` when no suitable index exists (callers scan).  The rows
+        stream out of a generator (the probe itself is a point lookup; the
+        object fetches happen lazily as the join loop advances)."""
         if not self.use_access_paths:
             return None
         entry = self.catalog.table(name)
@@ -1044,16 +1158,21 @@ class Database:
             if index.definition.attribute_path != (attribute,):
                 continue
             if isinstance(index, FlatIndex):
-                return [entry.heap.fetch(tid) for tid in index.search(value)]  # type: ignore[union-attr]
+                heap = entry.heap
+                assert heap is not None
+                return (heap.fetch(tid) for tid in index.search(value))
             if index.definition.mode is AddressingMode.DATA_TID:
                 continue
-            current = set(entry.tids)
-            return [
-                self._fetch(entry, root)
-                for root in index.roots_for(value)
-                if root in current
-            ]
+            return self._stream_current_roots(entry, index.roots_for(value))
         return None
+
+    def _stream_current_roots(
+        self, entry: TableEntry, roots: Iterable[TID]
+    ) -> Iterator[TupleValue]:
+        current = set(entry.tids)
+        for root in roots:
+            if root in current:
+                yield self._fetch(entry, root)
 
     def _current_tids(
         self, entry: TableEntry, asof: Optional[datetime.date]
@@ -1397,6 +1516,10 @@ class Database:
                         "text": isinstance(index, TextIndex),
                         "mode": definition.mode.value,
                         "fragment_length": getattr(index, "fragment_length", None),
+                        # cost-model statistics ride along (tooling can
+                        # inspect them without opening the trees; reopen
+                        # re-derives exact values while rebuilding)
+                        "stats": index.stats.snapshot(),
                     }
                 )
             tables.append(

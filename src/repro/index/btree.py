@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.errors import AccessPathError
+from repro.index.stats import IndexStatistics
 from repro.obs import METRICS
 
 
@@ -33,6 +34,8 @@ class BPlusTree:
         self._order = order
         self._root = _Node(is_leaf=True)
         self._size = 0  # number of distinct keys
+        self._entries = 0  # total postings across all keys
+        self._max_posting = 0  # high-water mark of one posting list
 
     # -- lookup -----------------------------------------------------------------
 
@@ -82,6 +85,23 @@ class BPlusTree:
     def __contains__(self, key: Any) -> bool:
         return bool(self.search(key))
 
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        """Total postings across all keys (maintained incrementally)."""
+        return self._entries
+
+    @property
+    def stats(self) -> IndexStatistics:
+        """A statistics snapshot (entry count exact, distinct keys exact,
+        max posting list a high-water mark — see ``index/stats.py``)."""
+        return IndexStatistics(
+            entry_count=self._entries,
+            distinct_keys=self._size,
+            max_posting_list=self._max_posting,
+        )
+
     # -- mutation -----------------------------------------------------------------
 
     def insert(self, key: Any, value: Any) -> None:
@@ -111,6 +131,7 @@ class BPlusTree:
             postings.remove(value)
         except ValueError:
             return False
+        self._entries -= 1
         if not postings:
             leaf.keys.pop(index)
             leaf.values.pop(index)
@@ -153,10 +174,16 @@ class BPlusTree:
             index = self._position(node, key)
             if index < len(node.keys) and node.keys[index] == key:
                 node.values[index].append(value)
+                self._entries += 1
+                if len(node.values[index]) > self._max_posting:
+                    self._max_posting = len(node.values[index])
                 return None
             node.keys.insert(index, key)
             node.values.insert(index, [value])
             self._size += 1
+            self._entries += 1
+            if self._max_posting < 1:
+                self._max_posting = 1
             if len(node.keys) > self._order:
                 return self._split_leaf(node)
             return None
@@ -203,6 +230,9 @@ class BPlusTree:
             raise AccessPathError("duplicate keys in leaves")
         if len(keys) != self._size:
             raise AccessPathError("size counter out of sync")
+        entries = sum(len(postings) for _key, postings in self.items())
+        if entries != self._entries:
+            raise AccessPathError("entry counter out of sync")
         self._validate_node(self._root)
 
     def _validate_node(self, node: _Node) -> int:

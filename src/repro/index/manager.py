@@ -19,6 +19,7 @@ from typing import Any, Iterator, Optional
 from repro.errors import AccessPathError
 from repro.index.addresses import AddressingMode, HierarchicalAddress, IndexAddress
 from repro.index.btree import BPlusTree
+from repro.index.stats import IndexStatistics
 from repro.model.schema import TableSchema
 from repro.obs import METRICS
 from repro.storage.complex_object import OpenObject
@@ -149,6 +150,11 @@ class NF2Index:
                 seen.append(root)
         return seen
 
+    @property
+    def stats(self) -> IndexStatistics:
+        """Incrementally-maintained statistics (see ``index/stats.py``)."""
+        return self.tree.stats
+
     def __len__(self) -> int:
         return len(self.tree)
 
@@ -186,6 +192,11 @@ class FlatIndex:
         if METRICS.enabled:
             METRICS.inc("index.range_scans", index=self.definition.name)
         return self.tree.range(low, high, **kwargs)
+
+    @property
+    def stats(self) -> IndexStatistics:
+        """Incrementally-maintained statistics (see ``index/stats.py``)."""
+        return self.tree.stats
 
     def __len__(self) -> int:
         return len(self.tree)

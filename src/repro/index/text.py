@@ -26,6 +26,7 @@ from typing import Any, Iterator, Optional
 from repro.errors import AccessPathError
 from repro.index.addresses import AddressingMode, HierarchicalAddress, IndexAddress
 from repro.index.manager import IndexDefinition, NF2Index
+from repro.index.stats import IndexStatistics
 from repro.model.schema import TableSchema
 from repro.model.types import AtomicType
 from repro.obs import METRICS
@@ -59,6 +60,7 @@ class TextIndex:
         self._addresses: dict[int, IndexAddress] = {}
         self._next_handle = 0
         self._by_root: dict[TID, list[int]] = {}
+        self._max_posting = 0  # high-water mark of one fragment's postings
         # reuse NF2Index's path walking to enumerate (text, address) pairs
         self._walker = NF2Index(definition)
 
@@ -86,7 +88,10 @@ class TextIndex:
             handles.append(handle)
             for word in words_of(text):
                 for fragment in fragments_of(word, self.fragment_length):
-                    self._postings.setdefault(fragment, set()).add(handle)
+                    postings = self._postings.setdefault(fragment, set())
+                    postings.add(handle)
+                    if len(postings) > self._max_posting:
+                        self._max_posting = len(postings)
         self._by_root[obj.root_tid] = handles
 
     def deindex_object(self, root_tid: TID) -> None:
@@ -97,6 +102,27 @@ class TextIndex:
 
     # -- search ----------------------------------------------------------------------
 
+    def _pattern_fragments(self, pattern: str) -> set[str]:
+        """The fragments a masked pattern's literal runs contribute (empty
+        when no run is long enough — the index cannot narrow the search)."""
+        runs = [run for run in re.split(r"[*?]+", pattern) if run]
+        fragments: set[str] = set()
+        for run in runs:
+            for word in words_of(run):
+                if len(word) >= self.fragment_length:
+                    fragments |= fragments_of(word, self.fragment_length)
+        return fragments
+
+    def estimate(self, pattern: str) -> Optional[int]:
+        """Estimated candidate count for *pattern* without materializing
+        the intersection: the smallest fragment posting set bounds it from
+        above.  ``None`` when the pattern cannot be narrowed (the planner
+        must skip this index)."""
+        fragments = self._pattern_fragments(pattern)
+        if not fragments:
+            return None
+        return min(len(self._postings.get(f, ())) for f in fragments)
+
     def search(self, pattern: str) -> Optional[list[IndexAddress]]:
         """Candidate addresses for a masked pattern, or ``None`` when the
         pattern cannot be narrowed by fragments (caller must scan).
@@ -105,12 +131,7 @@ class TextIndex:
         """
         if METRICS.enabled:
             METRICS.inc("index.text_probes", index=self.definition.name)
-        runs = [run for run in re.split(r"[*?]+", pattern) if run]
-        fragments: set[str] = set()
-        for run in runs:
-            for word in words_of(run):
-                if len(word) >= self.fragment_length:
-                    fragments |= fragments_of(word, self.fragment_length)
+        fragments = self._pattern_fragments(pattern)
         if not fragments:
             return None
         candidates: Optional[set[int]] = None
@@ -136,3 +157,13 @@ class TextIndex:
     @property
     def fragment_count(self) -> int:
         return len(self._postings)
+
+    @property
+    def stats(self) -> IndexStatistics:
+        """Statistics over the fragment postings: entries are indexed text
+        occurrences, distinct keys are fragments."""
+        return IndexStatistics(
+            entry_count=len(self._addresses),
+            distinct_keys=len(self._postings),
+            max_posting_list=self._max_posting,
+        )

@@ -160,14 +160,22 @@ class Executor:
 
         self._loop_ranges(query, list(query.ranges), env, emit, is_top)
         if query.order_by:
-            pairs = list(zip(result.rows, sort_keys))
-            # stable multi-key sort: apply keys right-to-left
-            for index in range(len(query.order_by) - 1, -1, -1):
-                pairs.sort(
-                    key=lambda pair: pair[1][index],
-                    reverse=query.order_by[index].descending,
-                )
-            result.rows = [row for row, _keys in pairs]
+            if is_top and self._sort_elided():
+                # The access path already emitted candidates in index-key
+                # order matching the (single, ascending) ORDER BY — the
+                # final sort is skipped (Volcano-style interesting-order
+                # pushdown).
+                if METRICS.enabled:
+                    METRICS.inc("query.sorts_elided")
+            else:
+                pairs = list(zip(result.rows, sort_keys))
+                # stable multi-key sort: apply keys right-to-left
+                for index in range(len(query.order_by) - 1, -1, -1):
+                    pairs.sort(
+                        key=lambda pair: pair[1][index],
+                        reverse=query.order_by[index].descending,
+                    )
+                result.rows = [row for row, _keys in pairs]
         if query.distinct:
             seen: set = set()
             unique = []
@@ -178,6 +186,19 @@ class Executor:
                     unique.append(row)
             result.rows = unique
         return result
+
+    def _sort_elided(self) -> bool:
+        """Did the access path already emit rows in ORDER BY order?
+
+        The planner marks single-index plans whose B+-tree key order
+        matches the query's (single, ascending) ORDER BY; the provider
+        surfaces that decision as ``last_plan.sort_elided``.  Only
+        meaningful for the top-level query — its first range is the only
+        one planned through :meth:`TableProvider.iterate_table_for_query`,
+        which refreshes ``last_plan`` before emitting any row.
+        """
+        plan = getattr(self._provider, "last_plan", None)
+        return plan is not None and getattr(plan, "sort_elided", False)
 
     def _loop_ranges(
         self,
@@ -244,9 +265,10 @@ class Executor:
         where: ast.Predicate,
         var: str,
         env: dict[str, TupleValue],
-    ) -> Optional[list[TupleValue]]:
+    ) -> Optional[Iterable[TupleValue]]:
         """Find an equality conjunct ``var.ATTR = <bound expression>`` and
-        answer it through an index (System-R style index nested loops)."""
+        answer it through an index (System-R style index nested loops).
+        The provider streams the matching rows (no materialized list)."""
         lookup = getattr(self._provider, "lookup_rows", None)
         if lookup is None:
             return None
@@ -569,7 +591,15 @@ def _aggregate(function: str, values: list[Any]) -> Any:
 def _sortable(value: Any) -> tuple:
     """A totally-ordered proxy for an atomic value (NULLs sort first;
     booleans before numbers never mix — the binder guarantees homogeneous
-    keys, this is only a tiebreaker-safe encoding)."""
+    keys, this is only a tiebreaker-safe encoding).
+
+    ``datetime.datetime`` is a subclass of ``datetime.date``, so it must
+    be handled *first* and must keep its time-of-day: collapsing both to
+    ``toordinal()`` made all timestamps of one day compare equal and
+    ORDER BY over them nondeterministic.  Dates encode as
+    ``(4, ordinal, 0.0)`` so dates and timestamps stay mutually
+    comparable (a bare date sorts as that day's midnight).
+    """
     import datetime
 
     if value is None:
@@ -580,8 +610,16 @@ def _sortable(value: Any) -> tuple:
         return (2, value)
     if isinstance(value, str):
         return (3, value)
+    if isinstance(value, datetime.datetime):
+        seconds = (
+            value.hour * 3600
+            + value.minute * 60
+            + value.second
+            + value.microsecond / 1_000_000
+        )
+        return (4, value.toordinal(), seconds)
     if isinstance(value, datetime.date):
-        return (4, value.toordinal())
+        return (4, value.toordinal(), 0.0)
     raise ExecutionError(f"cannot sort by {value!r}")
 
 

@@ -12,19 +12,32 @@ Section 4.2 — exploits the *addressing mode* of each index:
   two addresses agreeing on their first ``k`` components refer to the same
   subobject at level ``k`` (the paper's ``P2 = F2`` argument).
 
+Selection is *cost-based* (System R style — Selinger et al., SIGMOD
+1979): every index applicable to a conjunct is scored on its maintained
+statistics (``index/stats.py``), the cheapest wins, and HIERARCHICAL
+beats ROOT_TID at equal selectivity so prefix joins stay available.
+Matched conjuncts are intersected in ascending-selectivity order with an
+early exit as soon as the candidate set collapses to ∅ — the remaining
+indexes are never probed.  Candidate roots *stream* out of a generator
+(Volcano-style — Graefe 1994) so they flow into object fetch and WHERE
+re-verification without building intermediate lists, and a single-index
+plan whose key order matches the query's ``ORDER BY`` announces
+``sort_elided`` so the executor can skip the final sort.
+
 The executor always re-verifies the full WHERE clause on the candidates, so
-planning is purely an optimization.
+planning is purely an optimization.  See ``docs/PLANNER.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
 
 from repro.catalog.catalog import TableEntry
-from repro.index.addresses import AddressingMode, HierarchicalAddress
+from repro.index.addresses import AddressingMode, HierarchicalAddress, address_root
 from repro.index.manager import FlatIndex, NF2Index
 from repro.index.text import TextIndex
+from repro.obs import METRICS
 from repro.query import ast
 from repro.storage.tid import TID
 
@@ -181,34 +194,297 @@ def _comparison_condition(
 
 
 # ---------------------------------------------------------------------------
-# candidate selection
+# candidate selection (cost-based)
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndexChoice:
+    """One scored (conjunct → index) assignment."""
+
+    condition: IndexCondition
+    name: str
+    index: Any
+    estimate: float
+    hierarchical: bool
+
+    @property
+    def sort_key(self) -> tuple:
+        # cheaper first; HIERARCHICAL beats ROOT_TID/flat at equal
+        # selectivity (prefix joins stay available); name breaks ties
+        # deterministically.
+        return (self.estimate, 0 if self.hierarchical else 1, self.name)
 
 
 @dataclass
 class PlanReport:
-    """What the planner decided — surfaced for tests and benchmarks."""
+    """What the planner decided — surfaced for tests, EXPLAIN, and
+    benchmarks.
+
+    ``used_indexes`` lists the chosen index per matched conjunct in
+    *intersection order* (ascending estimated selectivity — the most
+    selective index comes first).  ``considered`` records every scored
+    alternative as ``(index name, estimate)`` pairs.  ``actual_candidates``
+    and ``early_exit`` are filled in while the candidate generator drains.
+    """
 
     used_indexes: list[str]
     prefix_joins: int = 0
+    #: every (index, estimate) pair the cost model scored
+    considered: list[tuple[str, float]] = field(default_factory=list)
+    #: estimated candidate objects (min over the matched conjuncts)
+    estimated_candidates: Optional[float] = None
+    #: candidates actually emitted by the streaming generator
+    actual_candidates: int = 0
+    #: the intersection collapsed to ∅ before all matched conjuncts were
+    #: probed — the remaining index probes were skipped entirely
+    early_exit: bool = False
+    #: the chosen index yields rows in ORDER BY order; the executor may
+    #: skip the final sort
+    sort_elided: bool = False
 
     @property
     def used_any(self) -> bool:
         return bool(self.used_indexes)
 
 
-def candidate_roots(
+def choose_indexes(
     entry: TableEntry, conditions: list[IndexCondition]
-) -> tuple[Optional[list[TID]], PlanReport]:
+) -> tuple[list[IndexChoice], list[tuple[str, float]]]:
+    """Score all applicable indexes per conjunct and keep the cheapest.
+
+    Returns the winning choices sorted in ascending-selectivity order
+    (the intersection order) plus every scored alternative.
+    """
+    choices: list[IndexChoice] = []
+    considered: list[tuple[str, float]] = []
+    for condition in conditions:
+        scored = _score_condition(entry, condition)
+        considered.extend((c.name, c.estimate) for c in scored)
+        if scored:
+            choices.append(min(scored, key=lambda c: c.sort_key))
+    choices.sort(key=lambda c: c.sort_key)
+    return choices, considered
+
+
+def _score_condition(
+    entry: TableEntry, condition: IndexCondition
+) -> list[IndexChoice]:
+    """Every index that can answer *condition*, scored on statistics
+    (no posting lists are fetched here)."""
+    scored: list[IndexChoice] = []
+    if condition.kind in ("eq", "range"):
+        for name, index in entry.indexes.items():
+            if isinstance(index, TextIndex):
+                continue
+            if index.definition.attribute_path != condition.attribute_path:
+                continue
+            hierarchical = False
+            if isinstance(index, NF2Index):
+                mode = index.definition.mode
+                if mode is AddressingMode.DATA_TID:
+                    # Unusable for object retrieval (Section 4.2, first
+                    # approach).
+                    continue
+                hierarchical = mode is AddressingMode.HIERARCHICAL
+            elif not isinstance(index, FlatIndex):
+                continue
+            stats = index.stats
+            estimate = (
+                stats.estimate_eq()
+                if condition.kind == "eq"
+                else stats.estimate_range()
+            )
+            scored.append(
+                IndexChoice(condition, name, index, estimate, hierarchical)
+            )
+        return scored
+    # contains: a text index that cannot narrow the pattern is *skipped*,
+    # not a reason to abort — another text index (e.g. with a shorter
+    # fragment length) may still apply.
+    for name, index in entry.indexes.items():
+        if not isinstance(index, TextIndex):
+            continue
+        if index.definition.attribute_path != condition.attribute_path:
+            continue
+        estimate = index.estimate(condition.value)
+        if estimate is None:
+            continue
+        scored.append(
+            IndexChoice(condition, name, index, float(estimate), False)
+        )
+    return scored
+
+
+def candidate_roots(
+    entry: TableEntry,
+    conditions: list[IndexCondition],
+    order_by: Optional[tuple[str, ...]] = None,
+) -> tuple[Optional[Iterator[TID]], PlanReport]:
     """Object roots that can possibly satisfy the indexed conditions.
 
-    ``None`` means no index applied (scan).  The candidate set is always a
-    superset of the true result; the executor re-verifies.
+    ``None`` means no index applied (scan).  Otherwise the first element
+    is a *generator* streaming candidate root TIDs (the candidate set is
+    always a superset of the true result; the executor re-verifies) and
+    the report carries the cost-model decisions.  ``report.early_exit``
+    and ``report.actual_candidates`` are finalized only once the
+    generator is drained.
+
+    *order_by*, when given, names a top-level attribute the caller wants
+    rows ordered by (ascending).  A single-index plan on exactly that
+    attribute emits candidates in index-key order and sets
+    ``report.sort_elided``.
+    """
+    choices, considered = choose_indexes(entry, conditions)
+    report = PlanReport(used_indexes=[c.name for c in choices])
+    report.considered = considered
+    if not choices:
+        return None, report
+    report.estimated_candidates = min(c.estimate for c in choices)
+    if METRICS.enabled:
+        METRICS.inc("planner.indexes_considered", len(considered))
+        METRICS.inc("planner.indexes_chosen", len(choices))
+    if (
+        order_by is not None
+        and len(choices) == 1
+        and choices[0].condition.kind in ("eq", "range")
+        and choices[0].index.definition.attribute_path == order_by
+        and len(order_by) == 1
+    ):
+        report.sort_elided = True
+        return _stream_key_order(choices[0], report), report
+    return _stream_intersection(choices, report), report
+
+
+def _stream_key_order(choice: IndexChoice, report: PlanReport) -> Iterator[TID]:
+    """Candidates of a single-index plan in ascending key order (the
+    B+-tree scan order) — lets the executor elide an ORDER BY sort."""
+    seen: set[TID] = set()
+    for address in _index_hits(choice.index, choice.condition):
+        root = address_root(address)
+        if root in seen:
+            continue  # defensive: top-level attributes yield one entry/root
+        seen.add(root)
+        report.actual_candidates += 1
+        yield root
+
+
+def _stream_intersection(
+    choices: list[IndexChoice], report: PlanReport
+) -> Iterator[TID]:
+    """Fetch postings per matched conjunct in ascending-selectivity order,
+    intersect, prefix-join, and stream the surviving roots.
+
+    Probing stops the moment the intersection collapses to ∅ — the
+    remaining (less selective) indexes are never touched.
+    """
+    matched: list[tuple[IndexChoice, dict[TID, list[HierarchicalAddress]]]] = []
+    roots: Optional[set[TID]] = None
+    for position, choice in enumerate(choices):
+        by_root = _fetch_by_root(choice)
+        matched.append((choice, by_root))
+        keys = set(by_root)
+        roots = keys if roots is None else roots & keys
+        if not roots:
+            if position + 1 < len(choices):
+                report.early_exit = True
+                if METRICS.enabled:
+                    METRICS.inc("planner.early_exits")
+            return
+    assert roots is not None
+
+    # Prefix joins: conditions sharing a quantifier-binding prefix must hit
+    # the same complex subobject at the shared levels (the paper's P2=F2).
+    for i in range(len(matched)):
+        for j in range(i + 1, len(matched)):
+            choice_a, by_a = matched[i]
+            choice_b, by_b = matched[j]
+            shared = _shared_binding(
+                choice_a.condition.binding, choice_b.condition.binding
+            )
+            if shared == 0 or not (choice_a.hierarchical and choice_b.hierarchical):
+                continue
+            report.prefix_joins += 1
+            if METRICS.enabled:
+                METRICS.inc("planner.prefix_joins")
+            roots = {
+                root
+                for root in roots
+                if any(
+                    a.shares_prefix(b, shared)
+                    for a in by_a.get(root, ())
+                    for b in by_b.get(root, ())
+                )
+            }
+    for tid in sorted(roots, key=lambda tid: (tid.page, tid.slot)):
+        report.actual_candidates += 1
+        yield tid
+
+
+def _fetch_by_root(
+    choice: IndexChoice,
+) -> dict[TID, list[HierarchicalAddress]]:
+    """Materialize one chosen index's postings grouped by object root.
+
+    Hierarchical addresses keep their component lists (prefix joins need
+    them); plain TIDs map to empty lists.
+    """
+    if choice.condition.kind in ("eq", "range"):
+        addresses = _index_hits(choice.index, choice.condition)
+    else:  # contains — the cost model only picks narrowing text indexes
+        addresses = choice.index.search(choice.condition.value)
+        assert addresses is not None
+    by_root: dict[TID, list[HierarchicalAddress]] = {}
+    for address in addresses:
+        if isinstance(address, HierarchicalAddress):
+            by_root.setdefault(address.root, []).append(address)
+        else:
+            by_root.setdefault(address, [])
+    return by_root
+
+
+def _index_hits(index, condition: IndexCondition) -> Iterator:
+    """Addresses matching an eq or range condition, streamed in ascending
+    key order (a B+-tree point probe or leaf-chain scan)."""
+    if condition.kind == "eq":
+        yield from index.search(condition.value)
+        return
+    op, bound = condition.value
+    if op == "<":
+        scan = index.range(high=bound, include_high=False)
+    elif op == "<=":
+        scan = index.range(high=bound)
+    elif op == ">":
+        scan = index.range(low=bound, include_low=False)
+    else:  # '>='
+        scan = index.range(low=bound)
+    for _key, addresses in scan:
+        yield from addresses
+
+
+# ---------------------------------------------------------------------------
+# first-match baseline (ablation only)
+# ---------------------------------------------------------------------------
+
+
+def candidate_roots_first_match(
+    entry: TableEntry, conditions: list[IndexCondition]
+) -> tuple[Optional[list[TID]], PlanReport]:
+    """The pre-cost-model planner, kept as an A/B ablation baseline
+    (``Database.planner_mode = 'first-match'``; see
+    ``benchmarks/test_ablation_planner.py``).
+
+    It reproduces the seed behaviour — and its bugs — faithfully: the
+    *first* index in catalog order whose attribute path matches wins
+    regardless of addressing mode or selectivity, a text index that
+    cannot narrow a CONTAINS pattern aborts the whole lookup, conjuncts
+    intersect in WHERE order without early exit, and the candidate list
+    is fully materialized before the first object is fetched.
     """
     report = PlanReport(used_indexes=[])
     matched: list[tuple[IndexCondition, dict[TID, list[HierarchicalAddress]], bool]] = []
     for condition in conditions:
-        hit = _lookup(entry, condition)
+        hit = _first_match_lookup(entry, condition)
         if hit is None:
             continue
         index_name, by_root, hierarchical = hit
@@ -216,15 +492,11 @@ def candidate_roots(
         matched.append((condition, by_root, hierarchical))
     if not matched:
         return None, report
-
     roots: Optional[set[TID]] = None
     for _condition, by_root, _hierarchical in matched:
         keys = set(by_root)
         roots = keys if roots is None else roots & keys
     assert roots is not None
-
-    # Prefix joins: conditions sharing a quantifier-binding prefix must hit
-    # the same complex subobject at the shared levels (the paper's P2=F2).
     for i in range(len(matched)):
         for j in range(i + 1, len(matched)):
             cond_a, by_a, hier_a = matched[i]
@@ -243,20 +515,20 @@ def candidate_roots(
                 )
             }
     ordered = sorted(roots, key=lambda tid: (tid.page, tid.slot))
+    report.actual_candidates = len(ordered)
     return ordered, report
 
 
-def _lookup(
+def _first_match_lookup(
     entry: TableEntry, condition: IndexCondition
 ) -> Optional[tuple[str, dict[TID, list[HierarchicalAddress]], bool]]:
-    """Find an index answering *condition*; returns (name, root→addresses,
-    is_hierarchical)."""
+    """Seed-faithful lookup: first matching index in catalog order."""
     if condition.kind in ("eq", "range"):
         for name, index in entry.indexes.items():
             if isinstance(index, FlatIndex):
                 if index.definition.attribute_path != condition.attribute_path:
                     continue
-                by_root = {
+                by_root: dict[TID, list[HierarchicalAddress]] = {
                     tid: [] for tid in _index_hits(index, condition)
                 }
                 return name, by_root, False
@@ -266,9 +538,8 @@ def _lookup(
                 continue
             mode = index.definition.mode
             if mode is AddressingMode.DATA_TID:
-                # Unusable for object retrieval (Section 4.2, first approach).
                 continue
-            by_root: dict[TID, list[HierarchicalAddress]] = {}
+            by_root = {}
             for address in _index_hits(index, condition):
                 if isinstance(address, HierarchicalAddress):
                     by_root.setdefault(address.root, []).append(address)
@@ -276,7 +547,6 @@ def _lookup(
                     by_root.setdefault(address, [])
             return name, by_root, mode is AddressingMode.HIERARCHICAL
         return None
-    # contains
     for name, index in entry.indexes.items():
         if not isinstance(index, TextIndex):
             continue
@@ -284,7 +554,7 @@ def _lookup(
             continue
         addresses = index.search(condition.value)
         if addresses is None:
-            return None  # pattern cannot be narrowed
+            return None  # the seed bug: aborts instead of continuing
         by_root = {}
         for address in addresses:
             if isinstance(address, HierarchicalAddress):
@@ -293,25 +563,6 @@ def _lookup(
                 by_root.setdefault(address, [])
         return name, by_root, False
     return None
-
-
-def _index_hits(index, condition: IndexCondition) -> list:
-    """All addresses matching an eq or range condition (B+-tree scan)."""
-    if condition.kind == "eq":
-        return index.search(condition.value)
-    op, bound = condition.value
-    if op == "<":
-        scan = index.range(high=bound, include_high=False)
-    elif op == "<=":
-        scan = index.range(high=bound)
-    elif op == ">":
-        scan = index.range(low=bound, include_low=False)
-    else:  # '>='
-        scan = index.range(low=bound)
-    hits = []
-    for _key, addresses in scan:
-        hits.extend(addresses)
-    return hits
 
 
 def _shared_binding(a: tuple[str, ...], b: tuple[str, ...]) -> int:

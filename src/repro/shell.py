@@ -90,7 +90,20 @@ def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
         for entry in db.catalog.tables():
             for name, index in entry.indexes.items():
                 path = ".".join(index.definition.attribute_path)
-                print(f"  {name} ON {entry.name} ({path})", file=out)
+                mode = getattr(index.definition, "mode", None)
+                kind = (
+                    "text"
+                    if hasattr(index, "fragment_length")
+                    else (mode.value if mode is not None else "?")
+                )
+                stats = index.stats
+                print(
+                    f"  {name} ON {entry.name} ({path})  "
+                    f"[{kind}; {stats.entry_count} entries, "
+                    f"{stats.distinct_keys} distinct keys, "
+                    f"max posting {stats.max_posting_list}]",
+                    file=out,
+                )
     elif command == ".stats":
         for key, value in db.io_stats.snapshot().items():
             print(f"  {key}: {value}", file=out)
