@@ -1,0 +1,298 @@
+"""Ablation A11 — concurrent sessions vs the serial engine.
+
+The paper's AIM-II prototype was single-user; the reproduction adds a
+hierarchical lock manager (table IS/IX/S/X + complex-object S/X), a
+session layer, and a multi-client line-protocol server.  This ablation
+measures what that buys on an interactive Section 4.2 read workload.
+
+The workload models what motivates multi-user operation in the first
+place: each *transaction* runs two queries with client **think time**
+between them (the application examines the first result before issuing
+the follow-up), all inside one strict-2PL transaction scope.  A fixed
+budget of transactions is then executed by
+
+* **1/2/4/8 sessions with shared locks** — readers take table-IS +
+  object-S, which are mutually compatible, so their think times (and
+  lock waits) overlap.  Aggregate throughput at 4 sessions must beat
+  the single-session serial baseline by at least
+  ``REPRO_CONCURRENCY_MIN_SPEEDUP`` (default ``1.0`` — four readers may
+  never be *slower* than one; on an idle machine the measured figure is
+  ~2x because the think time dominates and fully overlaps).
+* **4 sessions with exclusive locks** — the ablation: every transaction
+  takes table-X up front, which serializes the readers *including their
+  think time*.  This is what a lock manager without shared modes would
+  do, and it must not beat the shared-lock configuration.
+
+A second section serves the same database from a ``python -m
+repro.server`` subprocess to 1 and 4 client *processes* speaking the
+line protocol (``BEGIN``/queries/``COMMIT`` with the same think time),
+showing the overlap survives the wire.  Reported, not asserted — CI
+boxes are noisy and the in-process numbers carry the floor.
+
+Emits ``ablation_concurrency.txt`` and
+``ablation_concurrency_metrics.json`` into ``benchmarks/out/``.
+"""
+
+import multiprocessing
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+
+from repro.concurrency import LockMode
+from repro.database import Database
+from repro.datasets import DepartmentsGenerator, paper
+
+from _bench_utils import emit, emit_json
+
+# Section 4.2 shape, scaled up from the paper's 3 departments so a scan
+# does real work (the knobs mirror the storage discussion's fan-outs).
+GENERATOR = dict(
+    departments=24,
+    projects_per_department=4,
+    members_per_project=5,
+    equipment_per_department=3,
+    consultant_share=0.25,
+    seed=7,
+)
+
+#: one interactive transaction = QUERIES[0], think, QUERIES[1]
+QUERIES = [
+    "SELECT x.DNO FROM x IN DEPARTMENTS "
+    "WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS "
+    "z.FUNCTION = 'Consultant'",
+    "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS "
+    "WHERE EXISTS z IN y.MEMBERS z.FUNCTION = 'Consultant'",
+]
+
+TXNS_TOTAL = 24             # fixed transaction budget per configuration
+THINK_S = 0.06              # client think time inside each transaction
+SESSION_COUNTS = (1, 2, 4, 8)
+CLIENT_COUNTS = (1, 4)
+
+MIN_SPEEDUP = float(os.environ.get("REPRO_CONCURRENCY_MIN_SPEEDUP", "1.0"))
+
+
+def _build_dataset(path):
+    db = Database(path=path)
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.insert_many("DEPARTMENTS", DepartmentsGenerator(**GENERATOR).rows())
+    db.create_index("IDX_FUNCTION", "DEPARTMENTS", "PROJECTS.MEMBERS.FUNCTION")
+    db.save()
+    db.close()
+
+
+# -- part 1: in-process sessions ------------------------------------------
+
+
+def _run_sessions(db, session_count, exclusive=False):
+    """Split TXNS_TOTAL think-time transactions across reader sessions."""
+    per_session = TXNS_TOTAL // session_count
+    before = db.locks.stats()
+    barrier = threading.Barrier(session_count + 1)
+    errors = []
+
+    def reader(index):
+        with db.session(name=f"bench-reader-{index}") as session:
+            barrier.wait()
+            try:
+                for _ in range(per_session):
+                    with session.transaction():
+                        if exclusive:
+                            # ablation: no shared modes — serialize readers
+                            session.lock(("table", "DEPARTMENTS"), LockMode.X)
+                        session.query(QUERIES[0])
+                        time.sleep(THINK_S)  # examine the first result
+                        session.query(QUERIES[1])
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), daemon=True)
+        for i in range(session_count)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    after = db.locks.stats()
+    ran = per_session * session_count
+    return {
+        "sessions": session_count,
+        "locking": "exclusive" if exclusive else "shared",
+        "transactions": ran,
+        "elapsed_s": round(elapsed, 4),
+        "txns_per_s": round(ran / elapsed, 2),
+        "locks_granted": after["lock.grants"] - before["lock.grants"],
+        "lock_waits": after["lock.waits"] - before["lock.waits"],
+        "deadlocks": after["lock.deadlocks"] - before["lock.deadlocks"],
+    }
+
+
+# -- part 2: server + client processes ------------------------------------
+
+
+def _client_worker(host, port, count, barrier, out_queue):
+    """One reader client in its own process, speaking the line protocol."""
+    from repro.server import LineClient
+
+    with LineClient(host, port) as client:
+        client.send(".tables")  # warm the connection + import paths
+        barrier.wait()
+        start = time.monotonic()
+        for _ in range(count):
+            for statement in ("BEGIN", QUERIES[0]):
+                payload = client.send(statement)
+                if payload.startswith("error:"):
+                    raise RuntimeError(payload.strip())
+            time.sleep(THINK_S)
+            for statement in (QUERIES[1], "COMMIT"):
+                payload = client.send(statement)
+                if payload.startswith("error:"):
+                    raise RuntimeError(payload.strip())
+        end = time.monotonic()
+    out_queue.put((start, end, count))
+
+
+def _measure_clients(host, port, client_count):
+    per_client = TXNS_TOTAL // client_count
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(client_count)
+    out_queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_client_worker,
+            args=(host, port, per_client, barrier, out_queue),
+            daemon=True,
+        )
+        for _ in range(client_count)
+    ]
+    for worker in workers:
+        worker.start()
+    spans = [out_queue.get(timeout=120) for _ in workers]
+    for worker in workers:
+        worker.join(timeout=30)
+    window = max(end for _, end, _ in spans) - min(start for start, _, _ in spans)
+    total = sum(count for _, _, count in spans)
+    return {
+        "clients": client_count,
+        "transactions": total,
+        "elapsed_s": round(window, 4),
+        "txns_per_s": round(total / window, 2),
+    }
+
+
+def _start_server(db_path):
+    """Launch ``python -m repro.server`` on an ephemeral port."""
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", db_path, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"on ([\d.]+):(\d+)", banner)
+    if not match:  # pragma: no cover - startup failure
+        proc.kill()
+        raise RuntimeError(f"server did not start: {banner!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+# -- the ablation ----------------------------------------------------------
+
+
+def test_concurrency_ablation(tmp_path):
+    db_path = str(tmp_path / "bench.db")
+    _build_dataset(db_path)
+
+    # part 1: in-process sessions over one shared engine
+    db = Database(path=db_path)
+    shared = [_run_sessions(db, n) for n in SESSION_COUNTS]
+    exclusive = _run_sessions(db, 4, exclusive=True)
+    assert db.verify() == []
+    db.close()
+
+    by_sessions = {row["sessions"]: row for row in shared}
+    speedup = by_sessions[4]["txns_per_s"] / by_sessions[1]["txns_per_s"]
+
+    # the readers really used the lock manager; shared locks meant no
+    # deadlocks among pure readers, while the exclusive ablation blocked
+    for row in shared:
+        assert row["locks_granted"] > 0
+        assert row["deadlocks"] == 0
+    assert exclusive["lock_waits"] > 0
+
+    # part 2: the server with client processes
+    proc, host, port = _start_server(db_path)
+    try:
+        served = [_measure_clients(host, port, n) for n in CLIENT_COUNTS]
+    finally:
+        proc.terminate()
+        proc.wait(timeout=15)
+    served_by = {row["clients"]: row for row in served}
+    served_speedup = (
+        served_by[4]["txns_per_s"] / served_by[1]["txns_per_s"]
+    )
+
+    lines = [
+        f"workload: {TXNS_TOTAL} transactions of 2 queries + "
+        f"{THINK_S * 1000:.0f}ms think time, Section 4.2 dataset "
+        f"({GENERATOR['departments']} departments)",
+        "",
+        "in-process sessions:",
+        f"  {'sessions':>8} {'locking':>10} {'txns/s':>8} {'locks':>7} "
+        f"{'waits':>6} {'deadlocks':>9}",
+    ]
+    for row in shared + [exclusive]:
+        lines.append(
+            f"  {row['sessions']:>8} {row['locking']:>10} "
+            f"{row['txns_per_s']:>8} {row['locks_granted']:>7} "
+            f"{row['lock_waits']:>6} {row['deadlocks']:>9}"
+        )
+    lines.append(
+        f"\n4 shared-lock sessions vs serial: {speedup:.2f}x "
+        f"(floor: {MIN_SPEEDUP}x); exclusive-lock ablation: "
+        f"{exclusive['txns_per_s'] / by_sessions[1]['txns_per_s']:.2f}x"
+    )
+    lines.append("\nserver + client processes (line protocol):")
+    lines.append(f"  {'clients':>8} {'txns/s':>8}")
+    for row in served:
+        lines.append(f"  {row['clients']:>8} {row['txns_per_s']:>8}")
+    lines.append(
+        f"\n4-client aggregate speedup over 1 client: {served_speedup:.2f}x"
+    )
+    emit("ablation_concurrency", "\n".join(lines))
+    emit_json(
+        "ablation_concurrency_metrics",
+        {
+            "generator": GENERATOR,
+            "think_s": THINK_S,
+            "transactions": TXNS_TOTAL,
+            "in_process_shared": shared,
+            "in_process_exclusive": exclusive,
+            "server": served,
+            "speedup_4_sessions": round(speedup, 3),
+            "speedup_4_clients": round(served_speedup, 3),
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+
+    # shared locks must pay: 4 readers >= the serial baseline times the
+    # configured floor, and the exclusive-lock ablation must not win
+    assert speedup >= MIN_SPEEDUP, (
+        f"4 reader sessions reached only {speedup:.2f}x the 1-session "
+        f"baseline (required {MIN_SPEEDUP}x)"
+    )
+    assert by_sessions[4]["txns_per_s"] >= exclusive["txns_per_s"], (
+        "shared-lock readers were beaten by the exclusive-lock ablation"
+    )

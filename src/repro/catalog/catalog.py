@@ -8,6 +8,7 @@ paged file.  Flat (1NF) tables store tuples in a heap (no Mini Directories
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -80,56 +81,68 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, TableEntry] = {}
         self._index_owner: dict[str, str] = {}  # index name -> table name
+        # short internal latch: concurrent sessions resolve table/index
+        # names while DDL statements mutate the maps
+        self._latch = threading.RLock()
 
     # -- tables -------------------------------------------------------------------
 
     def add_table(self, entry: TableEntry) -> None:
-        if entry.name in self._tables:
-            raise DuplicateTableError(f"table {entry.name!r} already exists")
-        self._tables[entry.name] = entry
+        with self._latch:
+            if entry.name in self._tables:
+                raise DuplicateTableError(f"table {entry.name!r} already exists")
+            self._tables[entry.name] = entry
 
     def table(self, name: str) -> TableEntry:
-        entry = self._tables.get(name)
+        with self._latch:
+            entry = self._tables.get(name)
         if entry is None:
             raise UnknownTableError(f"no table named {name!r}")
         return entry
 
     def has_table(self, name: str) -> bool:
-        return name in self._tables
+        with self._latch:
+            return name in self._tables
 
     def drop_table(self, name: str) -> TableEntry:
-        entry = self.table(name)
-        for index_name in list(entry.indexes):
-            self._index_owner.pop(index_name, None)
-        del self._tables[name]
-        return entry
+        with self._latch:
+            entry = self.table(name)
+            for index_name in list(entry.indexes):
+                self._index_owner.pop(index_name, None)
+            del self._tables[name]
+            return entry
 
     def tables(self) -> list[TableEntry]:
-        return list(self._tables.values())
+        with self._latch:
+            return list(self._tables.values())
 
     # -- indexes ----------------------------------------------------------------------
 
     def add_index(self, table_name: str, index_name: str, index: AnyIndex) -> None:
-        entry = self.table(table_name)
-        if index_name in self._index_owner:
-            raise DuplicateIndexError(f"index {index_name!r} already exists")
-        entry.indexes[index_name] = index
-        self._index_owner[index_name] = table_name
+        with self._latch:
+            entry = self.table(table_name)
+            if index_name in self._index_owner:
+                raise DuplicateIndexError(f"index {index_name!r} already exists")
+            entry.indexes[index_name] = index
+            self._index_owner[index_name] = table_name
 
     def drop_index(self, index_name: str) -> None:
-        owner = self._index_owner.pop(index_name, None)
-        if owner is None:
-            raise UnknownIndexError(f"no index named {index_name!r}")
-        del self._tables[owner].indexes[index_name]
+        with self._latch:
+            owner = self._index_owner.pop(index_name, None)
+            if owner is None:
+                raise UnknownIndexError(f"no index named {index_name!r}")
+            del self._tables[owner].indexes[index_name]
 
     def index(self, index_name: str) -> AnyIndex:
-        owner = self._index_owner.get(index_name)
-        if owner is None:
-            raise UnknownIndexError(f"no index named {index_name!r}")
-        return self._tables[owner].indexes[index_name]
+        with self._latch:
+            owner = self._index_owner.get(index_name)
+            if owner is None:
+                raise UnknownIndexError(f"no index named {index_name!r}")
+            return self._tables[owner].indexes[index_name]
 
     def index_owner(self, index_name: str) -> str:
-        owner = self._index_owner.get(index_name)
-        if owner is None:
-            raise UnknownIndexError(f"no index named {index_name!r}")
-        return owner
+        with self._latch:
+            owner = self._index_owner.get(index_name)
+            if owner is None:
+                raise UnknownIndexError(f"no index named {index_name!r}")
+            return owner

@@ -1,0 +1,20 @@
+"""Concurrency control for the AIM-II reproduction.
+
+Two cooperating layers (see ``docs/CONCURRENCY.md``):
+
+* **Locks** (:mod:`repro.concurrency.locks`) — long-duration, transaction
+  scoped, deadlock-detected.  Two granules: whole tables (intention modes
+  IS/IX plus S/X) and single complex objects keyed by their root TID —
+  the paper's *local address space* unit from Section 4.1.
+* **Sessions** (:mod:`repro.concurrency.session`) — one per client
+  thread/connection; route statements through the lock manager and scope
+  transactions.
+
+Latches (short internal mutexes protecting in-memory structures) also
+live in :mod:`repro.concurrency.locks`.
+"""
+
+from repro.concurrency.locks import Latch, LockManager, LockMode
+from repro.concurrency.session import Session
+
+__all__ = ["Latch", "LockManager", "LockMode", "Session"]

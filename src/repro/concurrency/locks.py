@@ -1,0 +1,380 @@
+"""Hierarchical two-level locking and internal latches.
+
+The lock granule hierarchy mirrors the paper's storage design: every
+complex object owns a *local address space* reachable from one root TID
+(Section 4.1), so a single root TID names everything a statement touches
+inside one object.  The :class:`LockManager` therefore locks
+
+* **tables** in intention modes (``IS``/``IX``) or absolute modes
+  (``S``/``X`` for DDL and full-table operations), and
+* **complex objects** (root TIDs) in ``S``/``X``.
+
+Deadlocks are detected with a wait-for graph; the youngest waiter in the
+cycle (highest transaction id) is aborted with :class:`DeadlockError`.
+Waits beyond the per-acquire timeout raise :class:`LockTimeoutError`.
+Both derive from :class:`~repro.errors.ExecutionError` so they surface to
+clients like any other statement failure.
+
+:class:`Latch` is the short-duration cousin: a plain re-entrant mutex
+guarding in-memory structures (buffer frame maps, WAL append ordering,
+index dictionaries, the catalog).  Latches are never held across waits
+on locks, so they cannot deadlock with them.
+
+Metrics (when :mod:`repro.obs` profiling is enabled):
+
+* ``lock.waits`` — a lock request had to block at least once
+* ``lock.deadlocks`` — a waiter was aborted as a deadlock victim
+* ``lock.timeouts`` — a waiter gave up after its timeout
+* ``latch.contention`` — a latch acquire found the latch held
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional
+
+from repro import obs
+from repro.errors import DeadlockError, LockTimeoutError
+
+#: A lockable resource — a tuple whose first element names the level,
+#: e.g. ``("table", "DEPARTMENTS")``, ``("object", "DEPARTMENTS", tid)``,
+#: or the global writer token ``("wal",)``.
+Resource = tuple
+
+
+class LockMode(enum.Enum):
+    """Lock modes, intention modes included (Gray's hierarchy subset)."""
+
+    IS = "IS"  #: intention shared — will read individual objects below
+    IX = "IX"  #: intention exclusive — will write individual objects below
+    S = "S"    #: shared — read the whole resource
+    X = "X"    #: exclusive — write the whole resource
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: mode -> set of modes it is compatible with (standard matrix).
+_COMPAT: dict[LockMode, frozenset[LockMode]] = {
+    LockMode.IS: frozenset({LockMode.IS, LockMode.IX, LockMode.S}),
+    LockMode.IX: frozenset({LockMode.IS, LockMode.IX}),
+    LockMode.S: frozenset({LockMode.IS, LockMode.S}),
+    LockMode.X: frozenset(),
+}
+
+#: mode -> modes it subsumes (holding the key grants the values).
+_COVERS: dict[LockMode, frozenset[LockMode]] = {
+    LockMode.IS: frozenset({LockMode.IS}),
+    LockMode.IX: frozenset({LockMode.IX, LockMode.IS}),
+    LockMode.S: frozenset({LockMode.S, LockMode.IS}),
+    LockMode.X: frozenset({LockMode.X, LockMode.S, LockMode.IX, LockMode.IS}),
+}
+
+
+def compatible(requested: LockMode, held: LockMode) -> bool:
+    """True when ``requested`` can coexist with an already granted ``held``."""
+    return held in _COMPAT[requested]
+
+
+@dataclass
+class _ResourceLocks:
+    """Grant table for one resource: transaction id -> granted modes."""
+
+    holders: dict[int, set[LockMode]] = field(default_factory=dict)
+
+    def conflicts(self, txn: int, mode: LockMode) -> list[int]:
+        """Transaction ids whose grants block ``txn`` requesting ``mode``."""
+        blockers = []
+        for other, modes in self.holders.items():
+            if other == txn:
+                continue
+            if any(not compatible(mode, held) for held in modes):
+                blockers.append(other)
+        return blockers
+
+    def grants(self, txn: int, mode: LockMode) -> bool:
+        """True when ``txn`` already holds a mode covering ``mode``."""
+        held = self.holders.get(txn)
+        if not held:
+            return False
+        return any(mode in _COVERS[h] for h in held)
+
+
+@dataclass
+class _Waiter:
+    txn: int
+    resource: Resource
+    mode: LockMode
+    #: set by the deadlock detector; the waiter re-checks it on wake-up
+    victim: bool = False
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One row of :meth:`LockManager.snapshot` — for ``.locks`` and tests."""
+
+    txn: int
+    txn_name: str
+    resource: Resource
+    mode: LockMode
+    granted: bool
+
+    def describe(self) -> str:
+        level = self.resource[0]
+        rest = ".".join(str(part) for part in self.resource[1:])
+        state = "granted" if self.granted else "WAITING"
+        where = f"{level}:{rest}" if rest else level
+        return f"txn {self.txn} ({self.txn_name}) {self.mode.value} on {where} [{state}]"
+
+
+class LockManager:
+    """Two-level hierarchical lock manager with deadlock detection.
+
+    One global condition variable serializes the grant tables — lock
+    traffic in this prototype is dwarfed by statement execution, so a
+    single latch keeps the invariants easy to audit.  All blocking waits
+    happen on the condition, never while holding latches elsewhere.
+    """
+
+    def __init__(self, default_timeout: float = 5.0) -> None:
+        self._cond = threading.Condition()
+        self._resources: dict[Resource, _ResourceLocks] = {}
+        self._waiters: list[_Waiter] = []
+        #: txn id -> resources it holds locks on (for release_all)
+        self._held: dict[int, set[Resource]] = {}
+        self._names: dict[int, str] = {}
+        self._ids = itertools.count(1)
+        self.default_timeout = default_timeout
+        # counters mirrored into repro.obs when profiling is on
+        self.grants = 0
+        self.waits = 0
+        self.deadlocks = 0
+        self.timeouts = 0
+
+    # -- transactions ------------------------------------------------------
+
+    def begin(self, name: str = "?") -> int:
+        """Register a lock transaction; ids are monotonic, so the *youngest*
+        transaction is the one with the highest id."""
+        with self._cond:
+            txn = next(self._ids)
+            self._names[txn] = name
+            self._held[txn] = set()
+            return txn
+
+    def release_all(self, txn: int) -> None:
+        """Strict 2PL release: drop every lock ``txn`` holds."""
+        with self._cond:
+            for resource in self._held.pop(txn, set()):
+                table = self._resources.get(resource)
+                if table is None:
+                    continue
+                table.holders.pop(txn, None)
+                if not table.holders:
+                    del self._resources[resource]
+            self._names.pop(txn, None)
+            self._cond.notify_all()
+
+    # -- acquisition -------------------------------------------------------
+
+    def acquire(
+        self,
+        txn: int,
+        resource: Resource,
+        mode: LockMode,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Grant ``mode`` on ``resource`` to ``txn``, blocking if needed.
+
+        Returns ``True`` when the call actually had to wait (so callers
+        can annotate EXPLAIN output).  Raises :class:`DeadlockError` when
+        this transaction is chosen as a deadlock victim and
+        :class:`LockTimeoutError` after ``timeout`` seconds (defaulting
+        to the manager-wide timeout)."""
+        limit = self.default_timeout if timeout is None else timeout
+        deadline = time.monotonic() + limit
+        waited = False
+        with self._cond:
+            if self._resources.setdefault(resource, _ResourceLocks()).grants(
+                txn, mode
+            ):
+                return False
+            waiter: Optional[_Waiter] = None
+            try:
+                while True:
+                    # re-resolve the grant table every iteration: while this
+                    # waiter slept, a release_all may have deleted the (then
+                    # empty) entry, and granting into a stale object would
+                    # let the *next* requester double-grant on a fresh one
+                    table = self._resources.setdefault(resource, _ResourceLocks())
+                    blockers = table.conflicts(txn, mode)
+                    if not blockers:
+                        table.holders.setdefault(txn, set()).add(mode)
+                        self._held.setdefault(txn, set()).add(resource)
+                        self.grants += 1
+                        return waited
+                    if waiter is None:
+                        waiter = _Waiter(txn, resource, mode)
+                        self._waiters.append(waiter)
+                        waited = True
+                        self.waits += 1
+                        obs.METRICS.inc("lock.waits")
+                    self._abort_deadlock_victim()
+                    if waiter.victim:
+                        self.deadlocks += 1
+                        obs.METRICS.inc("lock.deadlocks")
+                        raise DeadlockError(
+                            f"transaction {txn} ({self._names.get(txn, '?')}) "
+                            f"aborted as deadlock victim waiting for "
+                            f"{mode.value} on {resource}"
+                        )
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.timeouts += 1
+                        obs.METRICS.inc("lock.timeouts")
+                        raise LockTimeoutError(
+                            f"lock timeout ({limit:.3g}s) waiting for "
+                            f"{mode.value} on {resource} "
+                            f"(held by txns {sorted(blockers)})"
+                        )
+                    self._cond.wait(min(remaining, 0.05))
+            finally:
+                if waiter is not None:
+                    self._waiters.remove(waiter)
+                current = self._resources.get(resource)
+                if current is not None and not current.holders:
+                    del self._resources[resource]
+
+    # -- deadlock detection ------------------------------------------------
+
+    def _wait_for_edges(self) -> dict[int, set[int]]:
+        """Wait-for graph: waiting txn -> txns holding conflicting grants."""
+        edges: dict[int, set[int]] = {}
+        for waiter in self._waiters:
+            table = self._resources.get(waiter.resource)
+            if table is None:
+                continue
+            blockers = table.conflicts(waiter.txn, waiter.mode)
+            if blockers:
+                edges.setdefault(waiter.txn, set()).update(blockers)
+        return edges
+
+    def _find_cycle(self, edges: dict[int, set[int]]) -> Optional[set[int]]:
+        """Return the set of txns on some wait-for cycle, or None."""
+        for start in edges:
+            stack = [(start, iter(edges.get(start, ())))]
+            on_path = {start}
+            path = [start]
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child in on_path:
+                        return set(path[path.index(child):])
+                    if child in edges:
+                        stack.append((child, iter(edges.get(child, ()))))
+                        on_path.add(child)
+                        path.append(child)
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    on_path.discard(node)
+                    path.pop()
+        return None
+
+    def _abort_deadlock_victim(self) -> None:
+        """Flag the youngest waiter on a wait-for cycle as the victim.
+
+        Called with the condition held.  Every transaction on a cycle is
+        by construction waiting, so the victim has a waiter record to
+        flag; it raises :class:`DeadlockError` from its own wait loop."""
+        edges = self._wait_for_edges()
+        cycle = self._find_cycle(edges)
+        if not cycle:
+            return
+        victim = max(cycle)  # ids are monotonic: max == youngest
+        for waiter in self._waiters:
+            if waiter.txn == victim:
+                waiter.victim = True
+        self._cond.notify_all()
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> list[LockInfo]:
+        """Stable view of every grant and every waiter (for ``.locks``)."""
+        with self._cond:
+            rows: list[LockInfo] = []
+            for resource, table in sorted(
+                self._resources.items(), key=lambda kv: repr(kv[0])
+            ):
+                for txn, modes in sorted(table.holders.items()):
+                    for mode in sorted(modes, key=lambda m: m.value):
+                        rows.append(
+                            LockInfo(
+                                txn, self._names.get(txn, "?"), resource, mode, True
+                            )
+                        )
+            for waiter in self._waiters:
+                rows.append(
+                    LockInfo(
+                        waiter.txn,
+                        self._names.get(waiter.txn, "?"),
+                        waiter.resource,
+                        waiter.mode,
+                        False,
+                    )
+                )
+            return rows
+
+    def stats(self) -> dict[str, int]:
+        with self._cond:
+            return {
+                "lock.granted": sum(
+                    len(modes)
+                    for table in self._resources.values()
+                    for modes in table.holders.values()
+                ),
+                "lock.waiting": len(self._waiters),
+                "lock.grants": self.grants,
+                "lock.waits": self.waits,
+                "lock.deadlocks": self.deadlocks,
+                "lock.timeouts": self.timeouts,
+            }
+
+
+class Latch:
+    """A short-duration re-entrant mutex with contention accounting.
+
+    Usage: ``with latch: ...`` around accesses to a shared in-memory
+    structure.  The non-blocking fast path keeps the cost near a plain
+    ``RLock`` when uncontended; a failed try-acquire counts one
+    ``latch.contention`` before blocking."""
+
+    __slots__ = ("_lock", "name", "contention")
+
+    def __init__(self, name: str = "latch") -> None:
+        self._lock = threading.RLock()
+        self.name = name
+        self.contention = 0
+
+    def acquire(self) -> None:
+        if self._lock.acquire(blocking=False):
+            return
+        self.contention += 1
+        obs.METRICS.inc("latch.contention", label=self.name)
+        self._lock.acquire()
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "Latch":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -1,0 +1,314 @@
+"""Sessions: per-client connections routed through the lock manager.
+
+A :class:`Session` is the unit of concurrency the server hands to each
+client thread.  It wraps one shared :class:`~repro.database.Database` and
+scopes locking:
+
+* **autocommit** (the default) — every statement runs in its own lock
+  transaction, released when the statement finishes (after its WAL
+  commit), exactly mirroring the single-user path's semantics;
+* **explicit** — ``with session.transaction(): ...`` holds locks across
+  statements (strict two-phase locking) and maps onto the engine's
+  single-user :meth:`~repro.database.Database.transaction` scope, which
+  is entered lazily at the first write.  Writers serialize on a global
+  WAL token taken *through* the lock manager, so writer/reader waits all
+  participate in deadlock detection.
+
+Reads take table-``IS`` + object-``S`` locks as the planner's candidate
+stream delivers objects; writes take table-``IX`` + object-``X`` (DDL
+takes table-``X``).  A deadlock or lock timeout surfaces as
+:class:`~repro.errors.ConcurrencyError` (an ``ExecutionError``); inside
+an explicit transaction it also aborts the transaction — already-applied
+statements are rolled back and the locks released so the surviving
+transactions can proceed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from repro.concurrency.locks import LockMode, Resource
+from repro.errors import ConcurrencyError, ExecutionError
+
+if TYPE_CHECKING:
+    from repro.database import Database
+    from repro.model.values import TableValue
+    from repro.storage.tid import TID
+
+#: the global single-writer token (see docs/CONCURRENCY.md) — taken in X
+#: by any session about to mutate, through the lock manager so a writer
+#: waiting behind another writer shows up in the wait-for graph.
+WAL_RESOURCE: Resource = ("wal",)
+
+_session_counter = itertools.count(1)
+
+
+class Session:
+    """One client's connection to a shared :class:`Database`.
+
+    Thread affinity: a session is meant to be driven by one thread at a
+    time (each server connection owns one).  Many sessions on one
+    database may run concurrently.
+    """
+
+    def __init__(
+        self,
+        db: "Database",
+        name: Optional[str] = None,
+        lock_timeout: Optional[float] = None,
+    ):
+        self._db = db
+        self.name = name or f"session-{next(_session_counter)}"
+        #: per-acquire lock timeout (None: the lock manager's default)
+        self.lock_timeout = lock_timeout
+        #: lock transaction id while a scope (statement or explicit
+        #: transaction) is open
+        self._txn: Optional[int] = None
+        self._explicit: Optional["_SessionTransaction"] = None
+        self._closed = False
+        # per-statement lock accounting (read by EXPLAIN ANALYZE)
+        self._stmt_lock_requests = 0
+        self._stmt_lock_waits = 0
+        self.last_lock_requests = 0
+        self.last_lock_waits = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError(f"session {self.name!r} is closed")
+        tx = self._explicit
+        if tx is not None and tx.aborted:
+            raise ConcurrencyError(
+                f"session {self.name!r}: the current transaction was "
+                "aborted (deadlock victim or lock timeout); leave the "
+                "transaction block and retry"
+            )
+
+    @contextmanager
+    def _statement(self):
+        """Route one statement through this session.
+
+        Publishes the session in the database's thread-local context (so
+        engine read/write paths acquire locks through it), opens a
+        statement-scoped lock transaction in autocommit mode, and — on a
+        concurrency abort inside an explicit transaction — rolls the
+        transaction back immediately so the held locks stop blocking the
+        survivors even if the caller swallows the exception.
+        """
+        self._check_open()
+        ctx = self._db._session_ctx
+        previous = getattr(ctx, "current", None)
+        ctx.current = self
+        autocommit = self._txn is None
+        if autocommit:
+            self._txn = self._db.locks.begin(self.name)
+        self._stmt_lock_requests = 0
+        self._stmt_lock_waits = 0
+        try:
+            yield
+        except ConcurrencyError:
+            if not autocommit and self._explicit is not None:
+                self._explicit.abort()
+            raise
+        finally:
+            self.last_lock_requests = self._stmt_lock_requests
+            self.last_lock_waits = self._stmt_lock_waits
+            if autocommit and self._txn is not None:
+                self._db.locks.release_all(self._txn)
+                self._txn = None
+            ctx.current = previous
+
+    def lock(self, resource: Resource, mode: LockMode) -> None:
+        """Acquire *mode* on *resource* for the current scope (engine
+        hook — called from the database's read/write paths)."""
+        if self._txn is None:  # outside any statement scope: nothing to tie
+            return             # the lock to (engine running single-user)
+        self._stmt_lock_requests += 1
+        waited = self._db.locks.acquire(
+            self._txn, resource, mode, timeout=self.lock_timeout
+        )
+        if waited:
+            self._stmt_lock_waits += 1
+
+    def _before_write(self) -> None:
+        """First-mutation hook, called from the engine's WAL scope.
+
+        Serializes writers on the global WAL token (single-writer commit
+        ordering — the WAL has one transaction slot) and, inside an
+        explicit session transaction, lazily enters the engine's
+        single-user transaction scope."""
+        self.lock(WAL_RESOURCE, LockMode.X)
+        tx = self._explicit
+        if tx is not None:
+            tx.ensure_db_transaction()
+
+    # -- public API --------------------------------------------------------
+
+    def execute(self, text: str) -> Any:
+        """Execute any statement (see :meth:`Database.execute`)."""
+        with self._statement():
+            return self._db.execute(text)
+
+    def query(self, text: str) -> "TableValue":
+        with self._statement():
+            return self._db.query(text)
+
+    def insert(self, table: str, row: Any, **kwargs) -> "TID":
+        with self._statement():
+            return self._db.insert(table, row, **kwargs)
+
+    def insert_many(self, table: str, rows: Iterable[Any], **kwargs) -> list:
+        with self._statement():
+            return self._db.insert_many(table, rows, **kwargs)
+
+    def update(self, table: str, tid: "TID", changes, **kwargs):
+        with self._statement():
+            return self._db.update(table, tid, changes, **kwargs)
+
+    def delete(self, table: str, tid: "TID", **kwargs) -> None:
+        with self._statement():
+            self._db.delete(table, tid, **kwargs)
+
+    def transaction(self) -> "_SessionTransaction":
+        """A multi-statement scope with strict two-phase locking::
+
+            with session.transaction():
+                session.execute("UPDATE ...")
+                session.execute("DELETE ...")  # atomically, under locks
+        """
+        self._check_open()
+        return _SessionTransaction(self)
+
+    def locks_held(self) -> list:
+        """This session's current grants (for tests and ``.locks``)."""
+        if self._txn is None:
+            return []
+        return [
+            info
+            for info in self._db.locks.snapshot()
+            if info.txn == self._txn and info.granted
+        ]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._explicit is not None:
+            self._explicit.abort()
+        if self._txn is not None:
+            self._db.locks.release_all(self._txn)
+            self._txn = None
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else (
+            "in-txn" if self._explicit is not None else "idle"
+        )
+        return f"<Session {self.name} [{state}]>"
+
+
+class _SessionTransaction:
+    """Explicit transaction scope for one session (strict 2PL).
+
+    The engine's single-user :class:`~repro.database._Transaction` is
+    entered lazily at the first write — read-only transactions never
+    touch the WAL, and two sessions can hold read locks concurrently
+    without fighting over the engine's single transaction slot (writers
+    serialize on the WAL token before entering it)."""
+
+    def __init__(self, session: Session):
+        self._session = session
+        self._db_txn = None  # the engine's _Transaction, once entered
+        self.aborted = False
+        self._entered = False
+
+    def ensure_db_transaction(self) -> None:
+        """Enter the engine's transaction scope at the first write (the
+        caller already holds the WAL token in X)."""
+        if self._db_txn is None and not self.aborted:
+            txn = self._session._db.transaction()
+            txn.__enter__()
+            self._db_txn = txn
+
+    def abort(self) -> None:
+        """Roll back applied work and release this transaction's locks —
+        used for deadlock victims / lock timeouts and session close.
+
+        Rollback runs *before* the locks drop (the victim still owns its
+        write set), then ``release_all`` breaks the cycle."""
+        if self.aborted:
+            return
+        self.aborted = True
+        session = self._session
+        if self._db_txn is not None:
+            exc = ConcurrencyError("transaction aborted")
+            try:
+                self._db_txn.__exit__(type(exc), exc, None)
+            finally:
+                self._db_txn = None
+        if session._txn is not None:
+            session._db.locks.release_all(session._txn)
+            session._txn = None
+
+    def __enter__(self) -> "_SessionTransaction":
+        session = self._session
+        session._check_open()
+        if session._txn is not None:
+            raise ExecutionError(
+                f"session {session.name!r} already has an active transaction"
+            )
+        session._txn = session._db.locks.begin(session.name)
+        session._explicit = self
+        self._entered = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        session = self._session
+        try:
+            if self.aborted:
+                # rolled back mid-scope (deadlock victim); surface it on a
+                # clean exit so the caller cannot mistake it for a commit
+                if exc_type is None:
+                    raise ConcurrencyError(
+                        f"session {session.name!r}: transaction was aborted "
+                        "(deadlock victim or lock timeout) — its effects "
+                        "were rolled back; retry"
+                    )
+                return False
+            if exc_type is not None:
+                if self._db_txn is not None:
+                    # roll back under our locks, then release below
+                    ctx = session._db._session_ctx
+                    previous = getattr(ctx, "current", None)
+                    ctx.current = session
+                    try:
+                        self._db_txn.__exit__(exc_type, exc, tb)
+                    finally:
+                        ctx.current = previous
+                        self._db_txn = None
+                return False
+            if self._db_txn is not None:
+                # commit: WAL fsync happens in here, *before* locks drop
+                ctx = session._db._session_ctx
+                previous = getattr(ctx, "current", None)
+                ctx.current = session
+                try:
+                    self._db_txn.__exit__(None, None, None)
+                finally:
+                    ctx.current = previous
+                    self._db_txn = None
+            return False
+        finally:
+            session._explicit = None
+            if session._txn is not None:
+                session._db.locks.release_all(session._txn)
+                session._txn = None

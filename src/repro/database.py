@@ -23,11 +23,13 @@ every DML path, and exposes tuple names and temporal ASOF support.
 from __future__ import annotations
 
 import datetime
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
 from repro.catalog.catalog import Catalog, TableEntry
+from repro.concurrency.locks import LockManager, LockMode
 from repro.errors import (
     AccessPathError,
     DataError,
@@ -87,6 +89,17 @@ class Database:
         wal_io=None,
     ):
         self._path = path
+        #: thread-local engine state: per-thread executor + last_plan (so
+        #: concurrent sessions don't trample each other's run state) and
+        #: the current Session driving this thread, if any
+        self._thread_state = threading.local()
+        self._session_ctx = threading.local()
+        #: hierarchical lock manager (tables + complex objects); sessions
+        #: route their statements through it — see docs/CONCURRENCY.md
+        self.locks = LockManager()
+        #: serializes mutation scopes against each other and against
+        #: checkpoints (a latch, not a lock: never held across lock waits)
+        self._write_latch = threading.RLock()
         if pagedfile is not None:
             self._file = pagedfile
         else:
@@ -107,7 +120,6 @@ class Database:
         )
         self.catalog = Catalog()
         self.structure = structure
-        self._executor = Executor(self)
         #: set False to disable index-based access paths (benchmarks use it)
         self.use_access_paths = True
         #: access-path selection strategy: ``"cost"`` (statistics-based,
@@ -115,8 +127,6 @@ class Database:
         #: kept for A/B ablation — see benchmarks/test_ablation_planner.py
         #: and docs/PLANNER.md)
         self.planner_mode = "cost"
-        #: filled by iterate_table_for_query with the last plan decision
-        self.last_plan = None
         #: logical clock for default timestamps on subtuple-versioned tables
         self._clock = 0.0
         #: active transaction (single-user: at most one)
@@ -155,6 +165,79 @@ class Database:
         return at
 
     # ======================================================================
+    # Concurrency (sessions + hierarchical locking; docs/CONCURRENCY.md)
+    # ======================================================================
+
+    @property
+    def _executor(self) -> Executor:
+        """Per-thread executor — its run state (``last_profile``, caches)
+        must not be shared between concurrent sessions."""
+        executor = getattr(self._thread_state, "executor", None)
+        if executor is None:
+            executor = Executor(self)
+            self._thread_state.executor = executor
+        return executor
+
+    @property
+    def last_plan(self):
+        """The planner report of this thread's last planned range (see
+        docs/PLANNER.md) — thread-local, like the executor."""
+        return getattr(self._thread_state, "last_plan", None)
+
+    @last_plan.setter
+    def last_plan(self, value) -> None:
+        self._thread_state.last_plan = value
+
+    def session(self, name: Optional[str] = None, lock_timeout: Optional[float] = None):
+        """A connection for one client thread.
+
+        Statements executed through the returned
+        :class:`~repro.concurrency.session.Session` take hierarchical
+        locks (table intention locks + per-complex-object S/X keyed by
+        root TID), so many sessions can drive one database concurrently;
+        ``session.transaction()`` scopes multi-statement atomicity under
+        strict two-phase locking.  *lock_timeout* (seconds) bounds every
+        lock wait (default: the lock manager's 5 s)."""
+        from repro.concurrency.session import Session
+
+        return Session(self, name=name, lock_timeout=lock_timeout)
+
+    def _session(self):
+        """The session driving the current thread, if any."""
+        return getattr(self._session_ctx, "current", None)
+
+    def _lock_table(self, name: str, mode: LockMode) -> None:
+        session = self._session()
+        if session is not None:
+            session.lock(("table", name), mode)
+
+    def _lock_object(self, table: str, tid: TID, mode: LockMode) -> None:
+        session = self._session()
+        if session is not None:
+            session.lock(("object", table, tid), mode)
+
+    def _begin_write(self, entry: TableEntry) -> None:
+        """Front door of every DML write path.
+
+        Under a session: serialize on the global writer token (through
+        the lock manager, so the wait is deadlock-detectable), lazily
+        enter the engine transaction for explicit session transactions,
+        and lock the table — ``X`` inside an explicit transaction (its
+        rollback is table-granular), ``IX`` for autocommit statements
+        (object ``X`` locks follow per touched object).  Then the
+        single-user transaction bookkeeping runs exactly as before."""
+        session = self._session()
+        if session is not None:
+            session._before_write()
+            if session._explicit is not None:
+                self._lock_table(entry.name, LockMode.X)
+            else:
+                self._lock_table(entry.name, LockMode.IX)
+        if self._active_txn is not None:
+            self._txn_guard(entry)
+            self._active_txn.touch(entry.name)
+
+    # ======================================================================
     # Durability (WAL commit scope + checkpointing)
     # ======================================================================
 
@@ -170,7 +253,20 @@ class Database:
         transaction and immediately commits the *current* in-memory state
         under a successor, so the durable state converges with memory; a
         crash in between recovers to the pre-operation state.
+
+        Concurrency: under a session the global writer token is taken
+        first (through the lock manager — deadlock-detectable), then the
+        write latch serializes this scope against non-session writer
+        threads and checkpoints.  The latch is re-entrant, so nested
+        scopes and auto-checkpoints ride through.
         """
+        session = self._session()
+        if session is not None:
+            session._before_write()
+        with self._write_latch:
+            yield from self._wal_scope_inner()
+
+    def _wal_scope_inner(self):
         wal = self.wal
         if wal is None:
             yield
@@ -219,20 +315,21 @@ class Database:
             raise StorageError_(
                 "checkpoint requires a WAL-enabled disk database"
             )
-        if self.wal.in_txn:
-            from repro.errors import WalError
+        with self._write_latch:  # not concurrent with mutation scopes
+            if self.wal.in_txn:
+                from repro.errors import WalError
 
-            raise WalError("cannot checkpoint inside a transaction")
-        state = self._catalog_state()
-        if self.wal.protected_pages:
-            # stray unlogged changes (e.g. direct OpenObject mutation):
-            # fold them into a commit so the flush below is WAL-covered
-            self.wal.begin()
-            self.wal.log_commit(state, self.buffer.image_for_log)
+                raise WalError("cannot checkpoint inside a transaction")
             state = self._catalog_state()
-        self.buffer.flush_all()
-        self.wal.checkpoint(state)
-        self._write_catalog_sidecar(state)
+            if self.wal.protected_pages:
+                # stray unlogged changes (e.g. direct OpenObject mutation):
+                # fold them into a commit so the flush below is WAL-covered
+                self.wal.begin()
+                self.wal.log_commit(state, self.buffer.image_for_log)
+                state = self._catalog_state()
+            self.buffer.flush_all()
+            self.wal.checkpoint(state)
+            self._write_catalog_sidecar(state)
 
     # ======================================================================
     # DDL
@@ -256,6 +353,7 @@ class Database:
         )
         if versioning not in ("object", "subtuple"):
             raise TemporalError(f"unknown versioning strategy {versioning!r}")
+        self._lock_table(schema.name, LockMode.X)  # DDL: absolute table lock
         with self._wal_scope():
             return self._create_table_entry(schema, versioned, versioning)
 
@@ -289,6 +387,7 @@ class Database:
         return schema
 
     def drop_table(self, name: str) -> None:
+        self._lock_table(name, LockMode.X)
         with self._wal_scope():
             self.catalog.drop_table(name)
 
@@ -304,6 +403,7 @@ class Database:
         path = _as_path(attribute_path)
         definition = IndexDefinition(name=name, table=table, attribute_path=path, mode=mode)
         definition.validate_against(entry.schema)
+        self._lock_table(table, LockMode.X)  # index build scans the table
         with self._wal_scope():
             if entry.is_flat:
                 index: Union[FlatIndex, NF2Index] = FlatIndex(definition)
@@ -332,12 +432,15 @@ class Database:
         definition = IndexDefinition(name=name, table=table, attribute_path=path)
         index = TextIndex(definition, fragment_length=fragment_length)
         index.validate_against(entry.schema)
+        self._lock_table(table, LockMode.X)  # index build scans the table
         with self._wal_scope():
             self.catalog.add_index(table, name, index)
             for tid in entry.tids:
                 index.index_object(entry.manager.open(tid, entry.schema))  # type: ignore[union-attr]
 
     def drop_index(self, name: str) -> None:
+        if self._session() is not None:
+            self._lock_table(self.catalog.index_owner(name), LockMode.X)
         with self._wal_scope():
             self.catalog.drop_index(name)
 
@@ -401,6 +504,7 @@ class Database:
             )
         # Rewrite every stored tuple under the new schema (one WAL commit:
         # a crash mid-migration recovers to the pre-ALTER table).
+        self._lock_table(table, LockMode.X)  # offline migration
         with self._wal_scope():
             rows = [self._fetch(entry, tid).to_plain() for tid in entry.tids]
             for tid in list(entry.tids):
@@ -471,11 +575,13 @@ class Database:
         """Insert one (possibly nested) tuple given as plain data."""
         entry = self.catalog.table(table)
         value = TupleValue.from_plain(entry.schema, row)
-        if self._active_txn is not None:
-            self._txn_guard(entry)
-            self._active_txn.touch(table)
+        self._begin_write(entry)
         with self._wal_scope():
-            return self._insert_value(entry, value, at)
+            tid = self._insert_value(entry, value, at)
+            # claim the new object before any concurrent reader can S-lock
+            # a recycled TID out from under this statement
+            self._lock_object(table, tid, LockMode.X)
+            return tid
 
     def _txn_guard(self, entry: TableEntry) -> None:
         if self._active_txn is None:
@@ -530,9 +636,10 @@ class Database:
         entry = self.catalog.table(table)
         if tid not in entry.tids:
             raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
-        if self._active_txn is not None:
-            self._txn_guard(entry)
-            self._active_txn.touch(table)
+        self._begin_write(entry)
+        self._lock_object(table, tid, LockMode.X)  # may wait; recheck below
+        if tid not in entry.tids:
+            raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
         with self._wal_scope():
             self._deindex(entry, tid)
             entry.tids.remove(tid)
@@ -568,9 +675,10 @@ class Database:
         entry = self.catalog.table(table)
         if tid not in entry.tids:
             raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
-        if self._active_txn is not None:
-            self._txn_guard(entry)
-            self._active_txn.touch(table)
+        self._begin_write(entry)
+        self._lock_object(table, tid, LockMode.X)  # may wait; recheck below
+        if tid not in entry.tids:
+            raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
         with self._wal_scope():
             if entry.temporal_manager is not None:
                 when = self._next_timestamp(at)
@@ -1004,6 +1112,14 @@ class Database:
             lines.append("engine counters (delta):")
             for name, value in sorted(engine.items()):
                 lines.append(f"  {name}: {value:g}")
+        session = self._session()
+        if session is not None:
+            lines.append("locks:")
+            lines.append(
+                f"  requests: {session._stmt_lock_requests}"
+                f"  waits: {session._stmt_lock_waits}"
+                f"  held: {len(session.locks_held())}"
+            )
         return "\n".join(lines)
 
     def _execute_insert(self, statement: ast.InsertStatement) -> int:
@@ -1108,9 +1224,17 @@ class Database:
                 self.last_plan = report
                 if METRICS.enabled:
                     METRICS.inc("query.index_plans")
+                self._lock_table(name, LockMode.IS)
                 current = set(entry.tids)
                 for tid in roots:
                     if tid in current:
+                        # S-lock each candidate object (the paper's local
+                        # address space = one root TID) as it streams out
+                        # of the planner; the wait may block behind a
+                        # writer, so re-check currency afterwards
+                        self._lock_object(name, tid, LockMode.S)
+                        if tid not in entry.tids:
+                            continue
                         yield self._fetch(entry, tid)
                 return
         if METRICS.enabled:
@@ -1158,9 +1282,7 @@ class Database:
             if index.definition.attribute_path != (attribute,):
                 continue
             if isinstance(index, FlatIndex):
-                heap = entry.heap
-                assert heap is not None
-                return (heap.fetch(tid) for tid in index.search(value))
+                return self._stream_heap_rows(entry, index.search(value))
             if index.definition.mode is AddressingMode.DATA_TID:
                 continue
             return self._stream_current_roots(entry, index.roots_for(value))
@@ -1169,9 +1291,13 @@ class Database:
     def _stream_current_roots(
         self, entry: TableEntry, roots: Iterable[TID]
     ) -> Iterator[TupleValue]:
+        self._lock_table(entry.name, LockMode.IS)
         current = set(entry.tids)
         for root in roots:
             if root in current:
+                self._lock_object(entry.name, root, LockMode.S)
+                if root not in entry.tids:
+                    continue  # deleted while we waited for the lock
                 yield self._fetch(entry, root)
 
     def _current_tids(
@@ -1189,15 +1315,33 @@ class Database:
             raise TemporalError(f"table {entry.name!r} is not versioned")
         return entry.version_store.roots_asof(asof)
 
+    def _stream_heap_rows(
+        self, entry: TableEntry, tids: Iterable[TID]
+    ) -> Iterator[TupleValue]:
+        """Index-probe results from a flat table, S-locked per row."""
+        self._lock_table(entry.name, LockMode.IS)
+        heap = entry.heap
+        assert heap is not None
+        for tid in tids:
+            self._lock_object(entry.name, tid, LockMode.S)
+            if tid not in entry.tids:
+                continue  # deleted while we waited for the lock
+            yield heap.fetch(tid)
+
     def iterate_table(
         self, name: str, asof: Optional[datetime.date] = None
     ) -> Iterator[TupleValue]:
         entry = self.catalog.table(name)
+        self._lock_table(name, LockMode.IS)
         if asof is not None and entry.temporal_manager is not None:
             for tid in self._current_tids(entry, asof):
                 yield entry.temporal_manager.load_asof(tid, entry.schema, asof)
             return
+        current_only = asof is None
         for tid in self._current_tids(entry, asof):
+            self._lock_object(name, tid, LockMode.S)
+            if current_only and tid not in entry.tids:
+                continue  # deleted while we waited for the lock
             yield self._fetch(entry, tid)
 
     def _fetch(self, entry: TableEntry, tid: TID) -> TupleValue:
@@ -1257,13 +1401,12 @@ class Database:
         entry = self.catalog.table(table)
         if entry.manager is None or entry.temporal_manager is not None:
             raise ExecutionError("checkin applies to plain NF2 tables")
-        if self._active_txn is not None:
-            self._txn_guard(entry)
-            self._active_txn.touch(table)
+        self._begin_write(entry)
         with self._wal_scope():
             tid = entry.manager.import_object(ObjectBundle.from_bytes(blob))
             entry.tids.append(tid)
             self._index_object(entry, tid)
+            self._lock_object(table, tid, LockMode.X)
             return tid
 
     # -- tuple names -----------------------------------------------------------------

@@ -128,6 +128,28 @@ class ExecutionError(QueryError):
 
 
 # --------------------------------------------------------------------------
+# Concurrency control
+# --------------------------------------------------------------------------
+
+
+class ConcurrencyError(ExecutionError):
+    """A statement failed because of lock contention.
+
+    Derives from :class:`ExecutionError` so existing clients that catch
+    query-execution failures also see concurrency aborts; new code can
+    catch the narrower class to retry."""
+
+
+class LockTimeoutError(ConcurrencyError):
+    """A lock could not be granted within the session's lock timeout."""
+
+
+class DeadlockError(ConcurrencyError):
+    """This transaction was chosen as the deadlock victim (youngest waiter
+    in the wait-for-graph cycle) and must be retried."""
+
+
+# --------------------------------------------------------------------------
 # Access paths & tuple names
 # --------------------------------------------------------------------------
 

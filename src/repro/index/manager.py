@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
+from repro.concurrency.locks import Latch
 from repro.errors import AccessPathError
 from repro.index.addresses import AddressingMode, HierarchicalAddress, IndexAddress
 from repro.index.btree import BPlusTree
@@ -61,21 +62,27 @@ class NF2Index:
         self.definition = definition
         self.tree = BPlusTree()
         self._by_root: dict[TID, list[tuple[Any, IndexAddress]]] = {}
+        #: short internal latch: DML re-indexing vs concurrent probes
+        self._latch = Latch(f"index:{definition.name}")
 
     # -- maintenance ------------------------------------------------------------
 
     def index_object(self, obj: OpenObject) -> None:
         """Add entries for one stored object."""
-        if obj.root_tid in self._by_root:
-            self.deindex_object(obj.root_tid)
+        # the object walk reads pages; keep it outside the latch so probe
+        # latency is bounded by tree work only
         entries = list(self.compute_entries(obj))
-        for key, address in entries:
-            self.tree.insert(key, address)
-        self._by_root[obj.root_tid] = entries
+        with self._latch:
+            for key, address in self._by_root.pop(obj.root_tid, ()):
+                self.tree.remove(key, address)
+            for key, address in entries:
+                self.tree.insert(key, address)
+            self._by_root[obj.root_tid] = entries
 
     def deindex_object(self, root_tid: TID) -> None:
-        for key, address in self._by_root.pop(root_tid, ()):
-            self.tree.remove(key, address)
+        with self._latch:
+            for key, address in self._by_root.pop(root_tid, ()):
+                self.tree.remove(key, address)
 
     def compute_entries(self, obj: OpenObject) -> Iterator[tuple[Any, IndexAddress]]:
         """Walk the object's Mini Directory along the indexed path."""
@@ -127,12 +134,16 @@ class NF2Index:
     def search(self, key: Any) -> list[IndexAddress]:
         if METRICS.enabled:
             METRICS.inc("index.probes", index=self.definition.name)
-        return self.tree.search(key)
+        with self._latch:
+            return list(self.tree.search(key))
 
     def range(self, low: Any = None, high: Any = None, **kwargs) -> Iterator[tuple[Any, list[IndexAddress]]]:
         if METRICS.enabled:
             METRICS.inc("index.range_scans", index=self.definition.name)
-        return self.tree.range(low, high, **kwargs)
+        with self._latch:
+            # materialized under the latch: a concurrent re-index must not
+            # rebalance the tree underneath a lazy leaf walk
+            return iter(list(self.tree.range(low, high, **kwargs)))
 
     def roots_for(self, key: Any) -> list[TID]:
         """Distinct object roots containing *key* — only meaningful for
@@ -169,29 +180,35 @@ class FlatIndex:
         self.definition = definition
         self.tree = BPlusTree()
         self._by_tid: dict[TID, Any] = {}
+        self._latch = Latch(f"index:{definition.name}")
 
     def index_row(self, tid: TID, key: Any) -> None:
-        if tid in self._by_tid:
-            self.deindex_row(tid)
-        if key is None:
-            return
-        self.tree.insert(key, tid)
-        self._by_tid[tid] = key
+        with self._latch:
+            old = self._by_tid.pop(tid, None)
+            if old is not None:
+                self.tree.remove(old, tid)
+            if key is None:
+                return
+            self.tree.insert(key, tid)
+            self._by_tid[tid] = key
 
     def deindex_row(self, tid: TID) -> None:
-        key = self._by_tid.pop(tid, None)
-        if key is not None:
-            self.tree.remove(key, tid)
+        with self._latch:
+            key = self._by_tid.pop(tid, None)
+            if key is not None:
+                self.tree.remove(key, tid)
 
     def search(self, key: Any) -> list[TID]:
         if METRICS.enabled:
             METRICS.inc("index.probes", index=self.definition.name)
-        return self.tree.search(key)
+        with self._latch:
+            return list(self.tree.search(key))
 
     def range(self, low: Any = None, high: Any = None, **kwargs):
         if METRICS.enabled:
             METRICS.inc("index.range_scans", index=self.definition.name)
-        return self.tree.range(low, high, **kwargs)
+        with self._latch:
+            return iter(list(self.tree.range(low, high, **kwargs)))
 
     @property
     def stats(self) -> IndexStatistics:

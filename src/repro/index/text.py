@@ -23,6 +23,7 @@ import re
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
+from repro.concurrency.locks import Latch
 from repro.errors import AccessPathError
 from repro.index.addresses import AddressingMode, HierarchicalAddress, IndexAddress
 from repro.index.manager import IndexDefinition, NF2Index
@@ -63,6 +64,8 @@ class TextIndex:
         self._max_posting = 0  # high-water mark of one fragment's postings
         # reuse NF2Index's path walking to enumerate (text, address) pairs
         self._walker = NF2Index(definition)
+        #: short internal latch: DML re-indexing vs concurrent probes
+        self._latch = Latch(f"index:{definition.name}")
 
     def validate_against(self, schema: TableSchema) -> None:
         self.definition.validate_against(schema)
@@ -76,25 +79,34 @@ class TextIndex:
     # -- maintenance ---------------------------------------------------------------
 
     def index_object(self, obj: OpenObject) -> None:
-        if obj.root_tid in self._by_root:
-            self.deindex_object(obj.root_tid)
-        handles: list[int] = []
-        for text, address in self._walker.compute_entries(obj):
-            if not isinstance(text, str):
-                continue
-            handle = self._next_handle
-            self._next_handle += 1
-            self._addresses[handle] = address
-            handles.append(handle)
-            for word in words_of(text):
-                for fragment in fragments_of(word, self.fragment_length):
-                    postings = self._postings.setdefault(fragment, set())
-                    postings.add(handle)
-                    if len(postings) > self._max_posting:
-                        self._max_posting = len(postings)
-        self._by_root[obj.root_tid] = handles
+        # the object walk reads pages; keep it outside the latch so probe
+        # latency is bounded by dictionary work only
+        texts = [
+            (text, address)
+            for text, address in self._walker.compute_entries(obj)
+            if isinstance(text, str)
+        ]
+        with self._latch:
+            self._deindex_locked(obj.root_tid)
+            handles: list[int] = []
+            for text, address in texts:
+                handle = self._next_handle
+                self._next_handle += 1
+                self._addresses[handle] = address
+                handles.append(handle)
+                for word in words_of(text):
+                    for fragment in fragments_of(word, self.fragment_length):
+                        postings = self._postings.setdefault(fragment, set())
+                        postings.add(handle)
+                        if len(postings) > self._max_posting:
+                            self._max_posting = len(postings)
+            self._by_root[obj.root_tid] = handles
 
     def deindex_object(self, root_tid: TID) -> None:
+        with self._latch:
+            self._deindex_locked(root_tid)
+
+    def _deindex_locked(self, root_tid: TID) -> None:
         for handle in self._by_root.pop(root_tid, ()):
             self._addresses.pop(handle, None)
             for postings in self._postings.values():
@@ -121,7 +133,8 @@ class TextIndex:
         fragments = self._pattern_fragments(pattern)
         if not fragments:
             return None
-        return min(len(self._postings.get(f, ())) for f in fragments)
+        with self._latch:
+            return min(len(self._postings.get(f, ())) for f in fragments)
 
     def search(self, pattern: str) -> Optional[list[IndexAddress]]:
         """Candidate addresses for a masked pattern, or ``None`` when the
@@ -134,14 +147,15 @@ class TextIndex:
         fragments = self._pattern_fragments(pattern)
         if not fragments:
             return None
-        candidates: Optional[set[int]] = None
-        for fragment in fragments:
-            postings = self._postings.get(fragment, set())
-            candidates = postings if candidates is None else candidates & postings
-            if not candidates:
-                return []
-        assert candidates is not None
-        return [self._addresses[handle] for handle in sorted(candidates)]
+        with self._latch:
+            candidates: Optional[set[int]] = None
+            for fragment in fragments:
+                postings = self._postings.get(fragment, set())
+                candidates = postings if candidates is None else candidates & postings
+                if not candidates:
+                    return []
+            assert candidates is not None
+            return [self._addresses[handle] for handle in sorted(candidates)]
 
     def candidate_roots(self, pattern: str) -> Optional[list[TID]]:
         addresses = self.search(pattern)

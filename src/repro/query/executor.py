@@ -494,7 +494,11 @@ def compare(op: str, left: Any, right: Any) -> bool:
         return False
     if isinstance(left, TableValue) or isinstance(right, TableValue):
         if not (isinstance(left, TableValue) and isinstance(right, TableValue)):
-            return False
+            # a table and an atom are *incomparable* but both non-NULL:
+            # they are definitely not equal, so <> must say so (returning
+            # False for both = and <> would make the pair "neither equal
+            # nor unequal" — three-valued logic this engine does not have)
+            return op == "<>"
         equal = left.canonical() == right.canonical()
         if op == "=":
             return equal
@@ -502,7 +506,8 @@ def compare(op: str, left: Any, right: Any) -> bool:
             return not equal
         raise ExecutionError("tables compare with = and <> only")
     if isinstance(left, bool) != isinstance(right, bool):
-        return False
+        # BOOLEAN vs number: same reasoning — distinct types, never equal
+        return op == "<>"
     try:
         if op == "=":
             return bool(left == right)
@@ -521,10 +526,15 @@ def compare(op: str, left: Any, right: Any) -> bool:
     raise ExecutionError(f"unknown comparison operator {op!r}")
 
 
-def masked_match(pattern: str, text: str) -> bool:
+def masked_match(pattern: str, text: Any) -> bool:
     """The paper's masked search: ``*`` matches any run, ``?`` one
     character; matching is case-insensitive and applies anywhere a full
-    match of the pattern fits the whole string."""
+    match of the pattern fits the whole string.
+
+    A non-string subject (a number, a NULL that slipped past the caller)
+    simply does not match — two-valued semantics, not a crash."""
+    if not isinstance(text, str):
+        return False
     regex = _compile_mask(pattern)
     return regex.fullmatch(text) is not None
 
@@ -577,14 +587,21 @@ def _aggregate(function: str, values: list[Any]) -> Any:
         return count
     if not atoms:
         return None
-    if function == "SUM":
-        return sum(atoms)
-    if function == "AVG":
-        return sum(atoms) / len(atoms)
-    if function == "MIN":
-        return min(atoms)
-    if function == "MAX":
-        return max(atoms)
+    try:
+        if function == "SUM":
+            return sum(atoms)
+        if function == "AVG":
+            return sum(atoms) / len(atoms)
+        if function == "MIN":
+            return min(atoms)
+        if function == "MAX":
+            return max(atoms)
+    except TypeError as exc:
+        # heterogeneous atoms (a string among numbers, ...) must surface
+        # as a query error, not a raw TypeError escaping the executor
+        raise ExecutionError(
+            f"{function} over mixed value types: {exc}"
+        ) from exc
     raise ExecutionError(f"unknown aggregate {function!r}")  # pragma: no cover
 
 

@@ -1,0 +1,222 @@
+"""A multi-client line-protocol server over one shared database.
+
+::
+
+    python -m repro.server db.aim [--host 127.0.0.1] [--port 7474]
+
+The server opens the database once and hands every TCP connection its own
+:class:`~repro.concurrency.session.Session`, so clients run concurrent
+statements under the hierarchical lock manager while sharing the buffer
+pool, the WAL, and the catalog.  One thread per connection
+(:class:`socketserver.ThreadingTCPServer`) keeps the model identical to
+the in-process multi-session tests.
+
+Wire protocol (text, UTF-8, newline-framed — telnet/netcat friendly):
+
+* The client sends **one line per statement** (the trailing ``;`` is
+  optional).  Shell dot-commands (``.tables``, ``.locks``, ...) work too.
+* Three session-control verbs manage an explicit transaction scope:
+  ``BEGIN``, ``COMMIT``, ``ROLLBACK`` (strict two-phase locking; see
+  :mod:`repro.concurrency.session`).
+* The server answers with a header line ``#<n>`` followed by exactly
+  *n* payload lines — the same text the shell would have printed.
+  Errors are payload lines starting with ``error:``; the connection
+  stays usable.
+* ``.quit`` (or EOF) ends the connection; the session's locks are
+  released and any open transaction is rolled back.
+
+:class:`LineClient` is the matching blocking client used by the tests
+and the concurrency benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import socket
+import socketserver
+import sys
+import threading
+from typing import Optional
+
+from repro.concurrency.session import Session
+from repro.database import Database
+from repro.errors import ReproError
+from repro.shell import dot_command, execute_line
+
+
+def _frame(text: str) -> bytes:
+    """Encode a response as ``#<n>`` + n lines."""
+    lines = text.splitlines()
+    body = "".join(line + "\n" for line in lines)
+    return f"#{len(lines)}\n{body}".encode("utf-8")
+
+
+class _Connection(socketserver.StreamRequestHandler):
+    """One client: a session plus an optional explicit transaction."""
+
+    server: "DatabaseServer"
+
+    def handle(self) -> None:
+        db = self.server.db
+        peer = "%s:%s" % self.client_address[:2]
+        session = db.session(name=f"client-{peer}")
+        txn = None  # open _SessionTransaction, if any
+        try:
+            for raw in self.rfile:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if line.endswith(";"):
+                    line = line[:-1].strip()
+                if not line:
+                    self._reply("")
+                    continue
+                upper = line.upper()
+                out = io.StringIO()
+                if line.startswith("."):
+                    if line == ".quit":
+                        self._reply("bye")
+                        break
+                    # dot-commands read shared state; route to the real db
+                    dot_command(db, line, out=out)
+                elif upper == "BEGIN":
+                    if txn is not None:
+                        print("error: transaction already open", file=out)
+                    else:
+                        try:
+                            txn = session.transaction()
+                            txn.__enter__()
+                            print("begin", file=out)
+                        except ReproError as exc:
+                            txn = None
+                            print(f"error: {exc}", file=out)
+                elif upper in ("COMMIT", "ROLLBACK"):
+                    if txn is None:
+                        print("error: no open transaction", file=out)
+                    else:
+                        try:
+                            if upper == "COMMIT":
+                                txn.__exit__(None, None, None)
+                                print("commit", file=out)
+                            else:
+                                exc = ReproError("client rollback")
+                                txn.__exit__(type(exc), exc, None)
+                                print("rollback", file=out)
+                        except ReproError as exc:
+                            print(f"error: {exc}", file=out)
+                        finally:
+                            txn = None
+                else:
+                    # statement dispatch: the shell's printer over a
+                    # session (same rendering as the interactive shell)
+                    execute_line(session, line, out=out)
+                self._reply(out.getvalue())
+        finally:
+            if txn is not None:
+                exc = ReproError("connection closed")
+                try:
+                    txn.__exit__(type(exc), exc, None)
+                except ReproError:
+                    pass
+            session.close()
+
+    def _reply(self, text: str) -> None:
+        try:
+            self.wfile.write(_frame(text))
+            self.wfile.flush()
+        except OSError:  # client went away mid-reply
+            pass
+
+
+class DatabaseServer(socketserver.ThreadingTCPServer):
+    """Thread-per-connection TCP server owning one :class:`Database`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, db: Database, host: str = "127.0.0.1", port: int = 7474):
+        self.db = db
+        super().__init__((host, port), _Connection)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[:2]
+
+    def serve_background(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a daemon thread (for tests)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-server", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+class LineClient:
+    """Blocking client for the line protocol (tests + benchmark)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def send(self, statement: str) -> str:
+        """Send one statement; return the response payload as text."""
+        self._file.write((statement.strip() + "\n").encode("utf-8"))
+        self._file.flush()
+        header = self._file.readline()
+        if not header.startswith(b"#"):
+            raise ConnectionError(f"bad response header: {header!r}")
+        count = int(header[1:])
+        lines = [
+            self._file.readline().decode("utf-8") for _ in range(count)
+        ]
+        return "".join(lines)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "LineClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="serve one NF2 database to concurrent line-protocol clients",
+    )
+    parser.add_argument("database", nargs="?", default=None,
+                        help="database file (omit for in-memory)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7474)
+    parser.add_argument("--init", default=None,
+                        help="';'-separated statements to run before serving")
+    args = parser.parse_args(argv)
+
+    db = Database(path=args.database)
+    if args.init:
+        from repro.shell import run_script
+
+        run_script(db, args.init, out=sys.stderr)
+    server = DatabaseServer(db, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"serving {args.database or 'in-memory database'} on {host}:{port}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        if args.database:
+            db.save()
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

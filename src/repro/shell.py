@@ -18,6 +18,7 @@ dot-commands::
     .save                persist (disk-backed databases)
     .checkpoint          flush pages + truncate the write-ahead log
     .wal                 WAL status (log size, commits, fsyncs, ...)
+    .locks               lock-manager snapshot (grants, waiters, counters)
     .help                this text
     .quit                leave
 
@@ -179,6 +180,14 @@ def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
                 print(f"  {key}: {value}", file=out)
             if db.last_recovery is not None:
                 print(f"  last open: {db.last_recovery.summary()}", file=out)
+    elif command == ".locks":
+        rows = db.locks.snapshot()
+        if not rows:
+            print("  no locks held or waited on", file=out)
+        for info in rows:
+            print(f"  {info.describe()}", file=out)
+        for key, value in db.locks.stats().items():
+            print(f"  {key}: {value}", file=out)
     else:
         print(f"unknown command {command!r}; try .help", file=out)
     return True

@@ -8,11 +8,13 @@ Benchmarks reset the counters, run an operation, and report the deltas.
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro.concurrency.locks import Latch
 from repro.errors import BufferError_, TornPageError
 from repro.obs import METRICS
 from repro.storage.constants import PAGE_SIZE
@@ -124,6 +126,11 @@ class BufferManager:
         self._file = file
         self._capacity = capacity
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        #: guards the frame map, pin counts, and eviction against
+        #: concurrent sessions; never held while calling into the WAL
+        #: except for the leaf-level ``ensure_durable``/``note_dirty``
+        #: (whose own latch takes nothing else — no lock-order cycles)
+        self._latch = Latch("buffer")
         self.stats = BufferStats()
         #: attached WAL manager (None = no durability enforcement)
         self.wal = wal
@@ -134,82 +141,100 @@ class BufferManager:
 
     def fetch(self, page_no: int) -> Page:
         """Pin a page and return a :class:`Page` view onto its frame."""
-        self.stats.logical_reads += 1
-        self.stats.pages_touched.add(page_no)
-        frame = self._frames.get(page_no)
-        if frame is None:
-            self._make_room()
-            buffer = self._file.read_page(page_no)
-            if self.checksums and not checksum_ok(buffer):
+        with self._latch:
+            self.stats.logical_reads += 1
+            self.stats.pages_touched.add(page_no)
+            frame = self._frames.get(page_no)
+            if frame is None:
+                self._make_room()
+                buffer = self._file.read_page(page_no)
+                if self.checksums and not checksum_ok(buffer):
+                    if METRICS.enabled:
+                        METRICS.inc("buffer.torn_pages_detected")
+                    raise TornPageError(
+                        f"page {page_no} failed its checksum: torn write or "
+                        "corruption (reopen the database to repair from the WAL)"
+                    )
+                self.stats.physical_reads += 1
+                frame = _Frame(page_no, buffer)
+                self._frames[page_no] = frame
                 if METRICS.enabled:
-                    METRICS.inc("buffer.torn_pages_detected")
-                raise TornPageError(
-                    f"page {page_no} failed its checksum: torn write or "
-                    "corruption (reopen the database to repair from the WAL)"
-                )
-            self.stats.physical_reads += 1
-            frame = _Frame(page_no, buffer)
-            self._frames[page_no] = frame
-            if METRICS.enabled:
-                METRICS.inc("buffer.logical_reads")
-                METRICS.inc("buffer.misses")
-        else:
-            self._frames.move_to_end(page_no)
-            if METRICS.enabled:
-                METRICS.inc("buffer.logical_reads")
-                METRICS.inc("buffer.hits")
-        frame.pin_count += 1
-        return Page(frame.buffer)
+                    METRICS.inc("buffer.logical_reads")
+                    METRICS.inc("buffer.misses")
+            else:
+                self._frames.move_to_end(page_no)
+                if METRICS.enabled:
+                    METRICS.inc("buffer.logical_reads")
+                    METRICS.inc("buffer.hits")
+            frame.pin_count += 1
+            return Page(frame.buffer)
 
     def unpin(self, page_no: int, dirty: bool = False) -> None:
-        frame = self._frames.get(page_no)
-        if frame is None or frame.pin_count == 0:
-            raise BufferError_(f"page {page_no} is not pinned")
-        frame.pin_count -= 1
-        frame.dirty = frame.dirty or dirty
+        with self._latch:
+            frame = self._frames.get(page_no)
+            if frame is None or frame.pin_count == 0:
+                raise BufferError_(f"page {page_no} is not pinned")
+            frame.pin_count -= 1
+            frame.dirty = frame.dirty or dirty
         if dirty and self.wal is not None:
             self.wal.note_dirty(page_no)
 
     @contextmanager
     def page(self, page_no: int, dirty: bool = False) -> Iterator[Page]:
-        """``with buffer.page(n) as page: ...`` — fetch/unpin pairing."""
+        """``with buffer.page(n) as page: ...`` — fetch/unpin pairing.
+
+        The dirty flag describes the caller's *intent*; if the body raises
+        before actually changing the page, honouring it blindly would mark
+        a never-written frame dirty — and with a WAL attached,
+        ``note_dirty`` would pin that page into the protected (no-steal)
+        set until the next commit logs an image of a page that never
+        changed.  On the exception path the page content is therefore
+        compared (CRC32 of the frame bytes) against its state on entry and
+        the frame is only dirtied when a mutation really happened."""
         page = self.fetch(page_no)
+        before = zlib.crc32(page.buffer) if dirty else None
         try:
             yield page
-        finally:
+        except BaseException:
+            changed = dirty and zlib.crc32(page.buffer) != before
+            self.unpin(page_no, dirty=changed)
+            raise
+        else:
             self.unpin(page_no, dirty=dirty)
 
     def new_page(self) -> tuple[int, Page]:
         """Allocate, format, and pin a fresh page."""
-        page_no = self._file.allocate_page()
-        self._make_room()
-        buffer = bytearray(PAGE_SIZE)
-        frame = _Frame(page_no, buffer)
-        frame.dirty = True
-        self._frames[page_no] = frame
-        frame.pin_count += 1
+        with self._latch:
+            page_no = self._file.allocate_page()
+            self._make_room()
+            buffer = bytearray(PAGE_SIZE)
+            frame = _Frame(page_no, buffer)
+            frame.dirty = True
+            self._frames[page_no] = frame
+            frame.pin_count += 1
+            self.stats.logical_reads += 1
+            self.stats.pages_touched.add(page_no)
+            if METRICS.enabled:
+                METRICS.inc("buffer.logical_reads")
+                METRICS.inc("buffer.pages_allocated")
+            page = Page.format(frame.buffer)
         if self.wal is not None:
             self.wal.note_dirty(page_no)
-        self.stats.logical_reads += 1
-        self.stats.pages_touched.add(page_no)
-        if METRICS.enabled:
-            METRICS.inc("buffer.logical_reads")
-            METRICS.inc("buffer.pages_allocated")
-        page = Page.format(frame.buffer)
         return page_no, page
 
     # -- maintenance -------------------------------------------------------------
 
     def flush_page(self, page_no: int) -> None:
-        frame = self._frames.get(page_no)
-        if frame is not None and frame.dirty:
-            if self.wal is not None and page_no in self.wal.protected_pages:
-                raise BufferError_(
-                    f"WAL-before-data violation: page {page_no} has "
-                    "unlogged changes (commit or checkpoint first)"
-                )
-            self._write_frame(frame)
-            frame.dirty = False
+        with self._latch:
+            frame = self._frames.get(page_no)
+            if frame is not None and frame.dirty:
+                if self.wal is not None and page_no in self.wal.protected_pages:
+                    raise BufferError_(
+                        f"WAL-before-data violation: page {page_no} has "
+                        "unlogged changes (commit or checkpoint first)"
+                    )
+                self._write_frame(frame)
+                frame.dirty = False
 
     def _write_frame(self, frame: _Frame) -> None:
         """Write one frame to the backend honouring WAL-before-data and
@@ -229,11 +254,12 @@ class BufferManager:
         header and return the page bytes to log.  Dirty pages are always
         cached (no-steal), but a clean page may have been evicted — then
         the backend's copy is already the current image."""
-        frame = self._frames.get(page_no)
-        if frame is None:
-            return bytes(self._file.read_page(page_no))
-        set_page_lsn(frame.buffer, lsn)
-        return bytes(frame.buffer)
+        with self._latch:
+            frame = self._frames.get(page_no)
+            if frame is None:
+                return bytes(self._file.read_page(page_no))
+            set_page_lsn(frame.buffer, lsn)
+            return bytes(frame.buffer)
 
     def flush_all(self) -> None:
         for page_no in list(self._frames):
@@ -243,23 +269,26 @@ class BufferManager:
     def drop(self, page_no: int) -> None:
         """Forget a cached page without writing it (used when freeing
         pages)."""
-        frame = self._frames.get(page_no)
-        if frame is not None and frame.pin_count:
-            raise BufferError_(f"cannot drop pinned page {page_no}")
-        self._frames.pop(page_no, None)
+        with self._latch:
+            frame = self._frames.get(page_no)
+            if frame is not None and frame.pin_count:
+                raise BufferError_(f"cannot drop pinned page {page_no}")
+            self._frames.pop(page_no, None)
 
     def invalidate_cache(self) -> None:
         """Empty the pool (flushing dirty frames) — lets benchmarks measure
         cold-cache physical I/O."""
         self.flush_all()
-        for frame in self._frames.values():
-            if frame.pin_count:
-                raise BufferError_("cannot invalidate with pinned pages")
-        self._frames.clear()
+        with self._latch:
+            for frame in self._frames.values():
+                if frame.pin_count:
+                    raise BufferError_("cannot invalidate with pinned pages")
+            self._frames.clear()
 
     @property
     def pinned_pages(self) -> list[int]:
-        return [n for n, f in self._frames.items() if f.pin_count > 0]
+        with self._latch:
+            return [n for n, f in self._frames.items() if f.pin_count > 0]
 
     # -- internal -------------------------------------------------------------------
 

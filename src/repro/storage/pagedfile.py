@@ -8,6 +8,7 @@ default for tests and benchmarks) and a real on-disk file.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Optional
 
 from repro.errors import SegmentError, StorageError
@@ -42,20 +43,25 @@ class MemoryPagedFile(PagedFile):
 
     def __init__(self) -> None:
         self._pages: list[bytearray] = []
+        # serializes allocation against reads/writes (thread safety)
+        self._latch = threading.RLock()
 
     def read_page(self, page_no: int) -> bytearray:
-        self._check(page_no)
-        return bytearray(self._pages[page_no])
+        with self._latch:
+            self._check(page_no)
+            return bytearray(self._pages[page_no])
 
     def write_page(self, page_no: int, data: bytes) -> None:
-        self._check(page_no)
-        if len(data) != PAGE_SIZE:
-            raise StorageError("page write must be exactly one page")
-        self._pages[page_no] = bytearray(data)
+        with self._latch:
+            self._check(page_no)
+            if len(data) != PAGE_SIZE:
+                raise StorageError("page write must be exactly one page")
+            self._pages[page_no] = bytearray(data)
 
     def allocate_page(self) -> int:
-        self._pages.append(bytearray(PAGE_SIZE))
-        return len(self._pages) - 1
+        with self._latch:
+            self._pages.append(bytearray(PAGE_SIZE))
+            return len(self._pages) - 1
 
     @property
     def page_count(self) -> int:
@@ -83,45 +89,53 @@ class DiskPagedFile(PagedFile):
             raise StorageError(f"file {path!r} is not page-aligned")
         self._page_count = size // PAGE_SIZE
         self.path = path
+        # one shared file handle: seek+read / seek+write pairs and the
+        # allocation counter must not interleave across threads
+        self._latch = threading.RLock()
 
     def read_page(self, page_no: int) -> bytearray:
-        self._check(page_no)
-        self._file.seek(page_no * PAGE_SIZE)
-        data = self._file.read(PAGE_SIZE)
+        with self._latch:
+            self._check(page_no)
+            self._file.seek(page_no * PAGE_SIZE)
+            data = self._file.read(PAGE_SIZE)
         if len(data) != PAGE_SIZE:
             raise StorageError(f"short read on page {page_no}")
         return bytearray(data)
 
     def write_page(self, page_no: int, data: bytes) -> None:
-        self._check(page_no)
         if len(data) != PAGE_SIZE:
             raise StorageError("page write must be exactly one page")
-        self._file.seek(page_no * PAGE_SIZE)
-        self._file.write(data)
+        with self._latch:
+            self._check(page_no)
+            self._file.seek(page_no * PAGE_SIZE)
+            self._file.write(data)
 
     def allocate_page(self) -> int:
-        page_no = self._page_count
-        self._file.seek(page_no * PAGE_SIZE)
-        self._file.write(b"\x00" * PAGE_SIZE)
-        self._page_count += 1
-        return page_no
+        with self._latch:
+            page_no = self._page_count
+            self._file.seek(page_no * PAGE_SIZE)
+            self._file.write(b"\x00" * PAGE_SIZE)
+            self._page_count += 1
+            return page_no
 
     @property
     def page_count(self) -> int:
         return self._page_count
 
     def sync(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        with self._latch:
+            self._file.flush()
+            os.fsync(self._file.fileno())
 
     def close(self) -> None:
         # Durability: cached writes must reach the medium before the
         # handle goes away — close() used to drop straight to close(),
         # losing OS-buffered pages on a post-close power failure.
-        if not self._file.closed:
-            self._file.flush()
-            os.fsync(self._file.fileno())
-            self._file.close()
+        with self._latch:
+            if not self._file.closed:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._file.close()
 
     def _check(self, page_no: int) -> None:
         if not 0 <= page_no < self._page_count:

@@ -28,6 +28,7 @@ and injected crashes without touching the manager's logic.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Any, Callable, Optional
 
 from repro.errors import WalError
@@ -103,6 +104,11 @@ class WalManager:
     ):
         self.path = path
         self._io = io if io is not None else WalIO(path)
+        #: serializes log appends against fsyncs — commit scopes are
+        #: already serialized by the engine's write latch, but a *reader*
+        #: thread evicting a dirty page calls :meth:`ensure_durable`
+        #: concurrently with a writer appending records
+        self._latch = threading.RLock()
         self.auto_checkpoint_bytes = auto_checkpoint_bytes
         self._prev_lsn = 0
         self._txn: Optional[int] = None
@@ -157,7 +163,8 @@ class WalManager:
 
     def note_dirty(self, page_no: int) -> None:
         """Record that *page_no* was dirtied (called from the buffer)."""
-        self._dirty.add(page_no)
+        with self._latch:
+            self._dirty.add(page_no)
 
     def log_commit(
         self,
@@ -217,11 +224,12 @@ class WalManager:
     def flush(self) -> None:
         """fsync appended records (no-op when everything is durable)."""
         self._check_alive()
-        if not self._pending_sync:
-            return
-        self._io.fsync()
-        self._pending_sync = False
-        self.fsyncs += 1
+        with self._latch:
+            if not self._pending_sync:
+                return
+            self._io.fsync()
+            self._pending_sync = False
+            self.fsyncs += 1
         if METRICS.enabled:
             METRICS.inc("wal.fsyncs")
 
@@ -247,11 +255,12 @@ class WalManager:
             raise WalError("cannot checkpoint inside a transaction")
         payload = encode_catalog(catalog_state)
         record = encode_record(0, 0, REC_CHECKPOINT, 0, payload)
-        self._io.reset_with(record)
-        self._prev_lsn = 0
-        self._dirty.clear()
-        self._pending_sync = False
-        self._bytes_since_checkpoint = 0
+        with self._latch:
+            self._io.reset_with(record)
+            self._prev_lsn = 0
+            self._dirty.clear()
+            self._pending_sync = False
+            self._bytes_since_checkpoint = 0
         self.checkpoints += 1
         self.records_appended += 1
         self.bytes_appended += len(record)
@@ -284,12 +293,13 @@ class WalManager:
     # -- internal ----------------------------------------------------------------
 
     def _append(self, rtype: int, txn: int, payload: bytes) -> int:
-        lsn = self._io.size
-        data = encode_record(lsn, self._prev_lsn, rtype, txn, payload)
-        self._io.append(data)
-        self._prev_lsn = lsn
-        self._pending_sync = True
-        self._bytes_since_checkpoint += len(data)
+        with self._latch:
+            lsn = self._io.size
+            data = encode_record(lsn, self._prev_lsn, rtype, txn, payload)
+            self._io.append(data)
+            self._prev_lsn = lsn
+            self._pending_sync = True
+            self._bytes_since_checkpoint += len(data)
         self.records_appended += 1
         self.bytes_appended += len(data)
         if METRICS.enabled:
