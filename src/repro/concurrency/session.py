@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 from repro.concurrency.locks import LockMode, Resource
 from repro.errors import ConcurrencyError, ExecutionError
+from repro.obs import TRACER
 
 if TYPE_CHECKING:
     from repro.database import Database
@@ -74,6 +75,10 @@ class Session:
         self._stmt_lock_waits = 0
         self.last_lock_requests = 0
         self.last_lock_waits = 0
+        #: observability: SYS.SESSIONS exposes these
+        self.thread_name = threading.current_thread().name
+        self.statements = 0
+        db._register_session(self)
 
     # -- plumbing ----------------------------------------------------------
 
@@ -108,6 +113,9 @@ class Session:
             self._txn = self._db.locks.begin(self.name)
         self._stmt_lock_requests = 0
         self._stmt_lock_waits = 0
+        self.thread_name = threading.current_thread().name
+        self.statements += 1
+        previous_label = TRACER.set_session(self.name)
         try:
             yield
         except ConcurrencyError:
@@ -115,6 +123,7 @@ class Session:
                 self._explicit.abort()
             raise
         finally:
+            TRACER.set_session(previous_label)
             self.last_lock_requests = self._stmt_lock_requests
             self.last_lock_waits = self._stmt_lock_waits
             if autocommit and self._txn is not None:
@@ -183,6 +192,11 @@ class Session:
         self._check_open()
         return _SessionTransaction(self)
 
+    @property
+    def in_transaction(self) -> bool:
+        """True inside an explicit ``session.transaction()`` block."""
+        return self._explicit is not None
+
     def locks_held(self) -> list:
         """This session's current grants (for tests and ``.locks``)."""
         if self._txn is None:
@@ -202,6 +216,7 @@ class Session:
             self._db.locks.release_all(self._txn)
             self._txn = None
         self._closed = True
+        self._db._unregister_session(self)
 
     def __enter__(self) -> "Session":
         return self

@@ -25,6 +25,7 @@ from __future__ import annotations
 import datetime
 import threading
 import time
+import weakref
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
@@ -47,6 +48,9 @@ from repro.model.schema import TableSchema
 from repro.model.values import TableValue, TupleValue
 from repro.names.tuple_names import TupleName, TupleNameService
 from repro.obs import METRICS, Span, TRACER
+from repro.obs.metrics import LATENCY_BUCKETS_MS
+from repro.obs.querylog import QueryLog, QueryRecord
+from repro.obs.sysviews import is_sys_table, iterate_sys_view, sys_view_schema
 from repro.query import ast
 from repro.query.executor import Executor
 from repro.query.parser import parse_statement
@@ -97,6 +101,11 @@ class Database:
         #: hierarchical lock manager (tables + complex objects); sessions
         #: route their statements through it — see docs/CONCURRENCY.md
         self.locks = LockManager()
+        #: finished-statement ring + slow-query sink (SYS.QUERIES reads it)
+        self.query_log = QueryLog()
+        #: live sessions, weakly referenced (SYS.SESSIONS reads it)
+        self._sessions: "weakref.WeakSet" = weakref.WeakSet()
+        self._sessions_latch = threading.Lock()
         #: serializes mutation scopes against each other and against
         #: checkpoints (a latch, not a lock: never held across lock waits)
         self._write_latch = threading.RLock()
@@ -205,6 +214,21 @@ class Database:
     def _session(self):
         """The session driving the current thread, if any."""
         return getattr(self._session_ctx, "current", None)
+
+    def _register_session(self, session) -> None:
+        with self._sessions_latch:
+            self._sessions.add(session)
+
+    def _unregister_session(self, session) -> None:
+        with self._sessions_latch:
+            self._sessions.discard(session)
+
+    def active_sessions(self) -> list:
+        """The open sessions on this database, sorted by name (dead
+        references are pruned by the weak set) — backs ``SYS.SESSIONS``."""
+        with self._sessions_latch:
+            sessions = [s for s in self._sessions if not s._closed]
+        return sorted(sessions, key=lambda s: s.name)
 
     def _lock_table(self, name: str, mode: LockMode) -> None:
         session = self._session()
@@ -386,7 +410,15 @@ class Database:
         self.catalog.add_table(entry)
         return schema
 
+    @staticmethod
+    def _reject_sys_write(name: str) -> None:
+        """DML/DDL against the virtual SYS catalog is meaningless — its
+        rows are computed from engine state at read time."""
+        if is_sys_table(name):
+            raise ExecutionError(f"{name} is a read-only system view")
+
     def drop_table(self, name: str) -> None:
+        self._reject_sys_write(name)
         self._lock_table(name, LockMode.X)
         with self._wal_scope():
             self.catalog.drop_table(name)
@@ -399,6 +431,7 @@ class Database:
         mode: AddressingMode = AddressingMode.HIERARCHICAL,
     ) -> None:
         """Create a value index; existing rows are indexed immediately."""
+        self._reject_sys_write(table)
         entry = self.catalog.table(table)
         path = _as_path(attribute_path)
         definition = IndexDefinition(name=name, table=table, attribute_path=path, mode=mode)
@@ -423,6 +456,7 @@ class Database:
         attribute_path: Union[str, tuple[str, ...]],
         fragment_length: int = 3,
     ) -> None:
+        self._reject_sys_write(table)
         entry = self.catalog.table(table)
         if entry.is_flat:
             raise AccessPathError(
@@ -469,6 +503,7 @@ class Database:
         from repro.model.schema import atomic as make_atomic
         from repro.model.types import AtomicType
 
+        self._reject_sys_write(table)
         entry = self.catalog.table(table)
         if entry.versioned:
             raise ExecutionError(
@@ -573,6 +608,7 @@ class Database:
         self, table: str, row: Any, at: Optional[Timestamp] = None
     ) -> TID:
         """Insert one (possibly nested) tuple given as plain data."""
+        self._reject_sys_write(table)
         entry = self.catalog.table(table)
         value = TupleValue.from_plain(entry.schema, row)
         self._begin_write(entry)
@@ -633,6 +669,7 @@ class Database:
 
     def delete(self, table: str, tid: TID, at: Optional[Timestamp] = None) -> None:
         """Delete one top-level tuple/object by TID."""
+        self._reject_sys_write(table)
         entry = self.catalog.table(table)
         if tid not in entry.tids:
             raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
@@ -672,6 +709,7 @@ class Database:
         :class:`OpenObject` for arbitrary partial updates.  Returns the
         (possibly new, if versioned) TID.
         """
+        self._reject_sys_write(table)
         entry = self.catalog.table(table)
         if tid not in entry.tids:
             raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
@@ -777,18 +815,75 @@ class Database:
         statement = parse_statement(text)
         parse_end = time.perf_counter()
         parse_ms = (parse_end - parse_start) * 1000.0
-        if isinstance(statement, ast.ExplainStatement):
-            return self._execute_explain(statement, parse_ms)
-        if not TRACER.enabled:
-            return self._dispatch(statement)
-        with TRACER.span(
-            "statement", kind=type(statement).__name__, text=text.strip()[:200]
-        ) as span:
-            if span is not None:
-                parse_span = Span("parse", start=parse_start)
-                parse_span.end = parse_end
-                span.children.append(parse_span)
-            return self._dispatch(statement)
+        before = METRICS.totals() if METRICS.enabled else None
+        result: Any = None
+        error: Optional[str] = None
+        try:
+            if isinstance(statement, ast.ExplainStatement):
+                result = self._execute_explain(statement, parse_ms)
+            elif not TRACER.enabled:
+                result = self._dispatch(statement)
+            else:
+                with TRACER.span(
+                    "statement",
+                    kind=type(statement).__name__,
+                    text=text.strip()[:200],
+                ) as span:
+                    if span is not None:
+                        parse_span = Span("parse", start=parse_start)
+                        parse_span.end = parse_end
+                        span.children.append(parse_span)
+                    result = self._dispatch(statement)
+            return result
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self._record_statement(
+                text, statement, result, parse_start, before, error
+            )
+
+    def _record_statement(
+        self,
+        text: str,
+        statement: ast.Statement,
+        result: Any,
+        started: float,
+        before: Optional[dict],
+        error: Optional[str],
+    ) -> None:
+        """Finish-line accounting for one statement: the ``SYS.QUERIES``
+        ring (always on), the slow-query sink (threshold-gated), and the
+        ``query.latency_ms`` histogram (only while metrics are enabled)."""
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        kind = _statement_kind(statement)
+        tables = _statement_tables(statement)
+        if isinstance(result, TableValue):
+            rows = len(result.rows)
+        elif isinstance(result, int):
+            rows = result
+        else:
+            rows = 0
+        if METRICS.enabled:
+            METRICS.histogram(
+                "query.latency_ms",
+                "statement latency, parse through execution (milliseconds)",
+                buckets=LATENCY_BUCKETS_MS,
+            ).observe(latency_ms, kind=kind, table=tables[0] if tables else "-")
+        counters = METRICS.delta(before) if before is not None else {}
+        session = self._session()
+        self.query_log.record(
+            QueryRecord(
+                text=text.strip(),
+                kind=kind,
+                latency_ms=latency_ms,
+                rows=rows,
+                tables=tables,
+                counters=counters,
+                session=session.name if session is not None else None,
+                error=error,
+            )
+        )
 
     #: statement types that mutate data or catalog — each executes as one
     #: WAL commit (multi-row UPDATE/DELETE become all-or-nothing on crash)
@@ -911,6 +1006,11 @@ class Database:
             ]
         if source.asof is not None:
             return ["  access: materialized source (path or ASOF)"]
+        if is_sys_table(source.table):
+            return [
+                "  access: system view (rows computed from engine state "
+                "at read time)"
+            ]
         entry = self.catalog.table(source.table)
         if first:
             conditions = extract_conditions(statement, range_.var)
@@ -1168,9 +1268,13 @@ class Database:
     # ======================================================================
 
     def table_schema(self, name: str) -> TableSchema:
+        if is_sys_table(name):
+            return sys_view_schema(name)
         return self.catalog.table(name).schema
 
     def is_versioned(self, name: str) -> bool:
+        if is_sys_table(name):
+            return False  # SYS rows are computed at read time: no history
         return self.catalog.table(name).versioned
 
     def iterate_table_for_query(
@@ -1188,6 +1292,10 @@ class Database:
         examined (Volcano-style; materialization only happens where the
         cost model intersects posting sets).
         """
+        if is_sys_table(name):
+            self.last_plan = None
+            yield from iterate_sys_view(self, name)
+            return
         entry = self.catalog.table(name)
         self.last_plan = None
         if self.use_access_paths and asof is None and entry.indexes:
@@ -1273,7 +1381,7 @@ class Database:
         ``None`` when no suitable index exists (callers scan).  The rows
         stream out of a generator (the probe itself is a point lookup; the
         object fetches happen lazily as the join loop advances)."""
-        if not self.use_access_paths:
+        if not self.use_access_paths or is_sys_table(name):
             return None
         entry = self.catalog.table(name)
         for index in entry.indexes.values():
@@ -1331,6 +1439,11 @@ class Database:
     def iterate_table(
         self, name: str, asof: Optional[datetime.date] = None
     ) -> Iterator[TupleValue]:
+        if is_sys_table(name):
+            if asof is not None:
+                raise TemporalError(f"table {name!r} is not versioned")
+            yield from iterate_sys_view(self, name)
+            return
         entry = self.catalog.table(name)
         self._lock_table(name, LockMode.IS)
         if asof is not None and entry.temporal_manager is not None:
@@ -1372,8 +1485,7 @@ class Database:
 
     def table_value(self, table: str, asof: Optional[datetime.date] = None) -> TableValue:
         """The table's full current (or ASOF) contents."""
-        entry = self.catalog.table(table)
-        out = TableValue(entry.schema)
+        out = TableValue(self.table_schema(table))
         out.rows.extend(self.iterate_table(table, asof))
         return out
 
@@ -1879,6 +1991,47 @@ class _Transaction:
             for row in rows:
                 db.insert(table, row)
         self._snapshots.clear()
+
+
+#: AST statement class -> the short kind label used by SYS.QUERIES and the
+#: ``query.latency_ms`` histogram's ``kind`` label
+_STATEMENT_KINDS = {
+    "Query": "SELECT",
+    "InsertStatement": "INSERT",
+    "UpdateStatement": "UPDATE",
+    "DeleteStatement": "DELETE",
+    "SubInsertStatement": "INSERT",
+    "SubUpdateStatement": "UPDATE",
+    "SubDeleteStatement": "DELETE",
+    "CreateTableStatement": "CREATE",
+    "DropTableStatement": "DROP",
+    "CreateIndexStatement": "CREATE",
+    "DropIndexStatement": "DROP",
+    "AlterTableStatement": "ALTER",
+    "ExplainStatement": "EXPLAIN",
+}
+
+
+def _statement_kind(statement: ast.Statement) -> str:
+    return _STATEMENT_KINDS.get(type(statement).__name__, "OTHER")
+
+
+def _statement_tables(statement: ast.Statement) -> list[str]:
+    """Top-level table names a statement touches (best effort; nested
+    paths and ALTER payloads are not chased)."""
+    if isinstance(statement, ast.ExplainStatement):
+        return _statement_tables(statement.target)
+    if isinstance(statement, ast.Query):
+        out: list[str] = []
+        for range_ in statement.ranges:
+            if range_.source.table is not None:
+                if range_.source.table not in out:
+                    out.append(range_.source.table)
+        return out
+    table = getattr(statement, "table", None)
+    if isinstance(table, str):
+        return [table]
+    return []
 
 
 def _keys_along_path(row: TupleValue, path: tuple[str, ...]):

@@ -33,24 +33,32 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LATENCY_BUCKETS_MS,
     METRICS,
     MetricsRegistry,
 )
+from repro.obs.promtext import render_prometheus
+from repro.obs.querylog import QueryLog, QueryRecord, fingerprint
 from repro.obs.trace import Span, TRACER, Trace, Tracer
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS_MS",
     "METRICS",
     "MetricsRegistry",
+    "QueryLog",
+    "QueryRecord",
     "Span",
     "TRACER",
     "Trace",
     "Tracer",
     "enable",
     "disable",
+    "fingerprint",
     "profiled",
+    "render_prometheus",
 ]
 
 

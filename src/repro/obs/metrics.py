@@ -43,63 +43,95 @@ def _label_str(key: LabelKey) -> str:
 
 
 class Counter:
-    """A monotonically increasing counter, optionally split by labels."""
+    """A monotonically increasing counter, optionally split by labels.
 
-    __slots__ = ("name", "help", "_values")
+    Mutation is guarded by a per-metric lock: the read-modify-write in
+    :meth:`inc` loses updates under statement parallelism otherwise (two
+    threads read the same old value, both write old+1).  The lock is only
+    taken when the registry is *enabled*, so the disabled hot path stays a
+    single attribute check in :class:`MetricsRegistry`.
+    """
+
+    __slots__ = ("name", "help", "_values", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self._values: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1, **labels: Any) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0)
 
     @property
     def total(self) -> float:
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
     def by_label(self) -> dict[str, float]:
-        return {_label_str(k): v for k, v in sorted(self._values.items())}
+        with self._lock:
+            return {_label_str(k): v for k, v in sorted(self._values.items())}
+
+    def series(self) -> list[tuple[LabelKey, float]]:
+        """Stable snapshot of every labeled series (SYS.METRICS reads it)."""
+        with self._lock:
+            return sorted(self._values.items())
 
     def reset(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
 
 class Gauge:
     """A point-in-time value (e.g. buffer frames in use)."""
 
-    __slots__ = ("name", "help", "_values")
+    __slots__ = ("name", "help", "_values", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self._values: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def set(self, value: float, **labels: Any) -> None:
-        self._values[_label_key(labels)] = value
+        with self._lock:
+            self._values[_label_key(labels)] = value
 
     def inc(self, amount: float = 1, **labels: Any) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0)
 
     def by_label(self) -> dict[str, float]:
-        return {_label_str(k): v for k, v in sorted(self._values.items())}
+        with self._lock:
+            return {_label_str(k): v for k, v in sorted(self._values.items())}
+
+    def series(self) -> list[tuple[LabelKey, float]]:
+        with self._lock:
+            return sorted(self._values.items())
 
     def reset(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
 
 #: default histogram buckets — tuned for "how many subtuples / pages /
 #: nodes did one operation touch" style distributions
 DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+#: buckets for statement-latency histograms (milliseconds) — sub-100µs
+#: point lookups up to multi-second analytical scans
+LATENCY_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+)
 
 
 class _HistogramSeries:
@@ -114,9 +146,14 @@ class _HistogramSeries:
 
 
 class Histogram:
-    """A distribution of observed values with fixed upper-bound buckets."""
+    """A distribution of observed values with fixed upper-bound buckets.
 
-    __slots__ = ("name", "help", "buckets", "_series")
+    Like :class:`Counter`, every series mutation in :meth:`observe` is a
+    read-modify-write over several fields — a per-metric lock keeps the
+    count / sum / bucket increments atomic under statement parallelism.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_series", "_lock")
 
     def __init__(
         self, name: str, help: str = "", buckets: Optional[Iterable[float]] = None
@@ -127,24 +164,25 @@ class Histogram:
         if list(self.buckets) != sorted(self.buckets):
             raise ValueError(f"histogram {name!r}: buckets must be sorted")
         self._series: dict[LabelKey, _HistogramSeries] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = self._series[key] = _HistogramSeries(len(self.buckets))
-        series.count += 1
-        series.sum += value
-        series.min = value if series.min is None else min(series.min, value)
-        series.max = value if series.max is None else max(series.max, value)
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                series.bucket_counts[index] += 1
-                return
-        series.bucket_counts[-1] += 1
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            series.count += 1
+            series.sum += value
+            series.min = value if series.min is None else min(series.min, value)
+            series.max = value if series.max is None else max(series.max, value)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[index] += 1
+                    return
+            series.bucket_counts[-1] += 1
 
-    def summary(self, **labels: Any) -> dict:
-        series = self._series.get(_label_key(labels))
+    def _summary_of(self, series: Optional[_HistogramSeries]) -> dict:
         if series is None:
             return {"count": 0, "sum": 0.0, "min": None, "max": None, "avg": None}
         return {
@@ -162,14 +200,82 @@ class Histogram:
             },
         }
 
+    def summary(self, **labels: Any) -> dict:
+        with self._lock:
+            return self._summary_of(self._series.get(_label_key(labels)))
+
     def by_label(self) -> dict[str, dict]:
+        with self._lock:
+            return {
+                _label_str(key): self._summary_of(series)
+                for key, series in sorted(self._series.items())
+            }
+
+    def series(self) -> list[tuple[LabelKey, dict]]:
+        """Stable snapshot of every labeled series with *raw* (non-
+        cumulative) bucket counts — what SYS.METRICS and the Prometheus
+        renderer consume."""
+        with self._lock:
+            out = []
+            for key, series in sorted(self._series.items()):
+                out.append(
+                    (
+                        key,
+                        {
+                            "count": series.count,
+                            "sum": series.sum,
+                            "min": series.min,
+                            "max": series.max,
+                            "bucket_counts": list(series.bucket_counts),
+                        },
+                    )
+                )
+            return out
+
+    def combined(self) -> dict:
+        """One summary across all labeled series (shell ``.stats``)."""
+        count = 0
+        total = 0.0
+        low: Optional[float] = None
+        high: Optional[float] = None
+        bucket_counts = [0] * (len(self.buckets) + 1)
+        for _key, snap in self.series():
+            count += snap["count"]
+            total += snap["sum"]
+            if snap["min"] is not None:
+                low = snap["min"] if low is None else min(low, snap["min"])
+            if snap["max"] is not None:
+                high = snap["max"] if high is None else max(high, snap["max"])
+            for index, bucket_count in enumerate(snap["bucket_counts"]):
+                bucket_counts[index] += bucket_count
         return {
-            _label_str(key): self.summary(**dict(key))
-            for key in sorted(self._series)
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+            "avg": total / count if count else None,
+            "bucket_counts": bucket_counts,
         }
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile across all series: the smallest
+        bucket upper bound covering at least ``q`` of the observations
+        (``inf`` when the quantile falls in the overflow bucket)."""
+        combined = self.combined()
+        count = combined["count"]
+        if not count:
+            return None
+        target = q * count
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, combined["bucket_counts"]):
+            cumulative += bucket_count
+            if cumulative >= target:
+                return float(bound)
+        return float("inf")
+
     def reset(self) -> None:
-        self._series.clear()
+        with self._lock:
+            self._series.clear()
 
 
 class MetricsRegistry:
@@ -258,6 +364,21 @@ class MetricsRegistry:
 
     # -- reading -------------------------------------------------------------
 
+    def counters(self) -> list[Counter]:
+        """Sorted snapshot of every registered counter."""
+        with self._lock:
+            return [c for _name, c in sorted(self._counters.items())]
+
+    def gauges(self) -> list[Gauge]:
+        """Sorted snapshot of every registered gauge."""
+        with self._lock:
+            return [g for _name, g in sorted(self._gauges.items())]
+
+    def histograms(self) -> list[Histogram]:
+        """Sorted snapshot of every registered histogram."""
+        with self._lock:
+            return [h for _name, h in sorted(self._histograms.items())]
+
     def totals(self) -> dict[str, float]:
         """Flat ``{counter name: total across labels}`` view."""
         return {name: c.total for name, c in sorted(self._counters.items())}
@@ -285,6 +406,17 @@ class MetricsRegistry:
                 name: h.by_label() for name, h in sorted(self._histograms.items())
             },
         }
+
+    def to_prometheus(self) -> str:
+        """Render every metric in the Prometheus text exposition format.
+
+        Delegates to :mod:`repro.obs.promtext`; benchmarks use this for
+        file export, the TCP server exposes it via the ``METRICS`` verb,
+        and the shell via ``.metrics``.
+        """
+        from .promtext import render_prometheus
+
+        return render_prometheus(self)
 
 
 #: the process-wide registry every engine component reports into

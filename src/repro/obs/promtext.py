@@ -1,0 +1,110 @@
+"""Prometheus text exposition rendering for the metrics registry.
+
+One function, :func:`render_prometheus`, turns a
+:class:`~repro.obs.metrics.MetricsRegistry` into the plain-text format a
+Prometheus scraper (or ``curl``) expects:
+
+* counters become ``repro_<name>_total`` samples,
+* gauges become ``repro_<name>`` samples,
+* histograms become ``repro_<name>_bucket{le="..."}`` series with
+  *cumulative* bucket counts plus ``_sum`` and ``_count``.
+
+Metric names are sanitized (dots → underscores, ``repro_`` prefix) and the
+output is fully deterministic — metrics sorted by name, series sorted by
+label key — so tests can golden-match it.  No third-party client library
+is involved; the format is simple enough to emit by hand.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .metrics import MetricsRegistry
+
+#: every emitted sample name starts with this
+PREFIX = "repro_"
+
+
+def sanitize_name(name: str) -> str:
+    """Map a registry metric name onto a Prometheus-legal sample name."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return PREFIX + sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_str(key, extra: list[tuple[str, str]] | None = None) -> str:
+    """``key`` is a LabelKey (sorted (name, value) pairs)."""
+    pairs = list(key) + list(extra or [])
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value is None:  # pragma: no cover - defensive
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _le_str(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    if float(bound).is_integer():
+        return str(int(bound))
+    return repr(float(bound))
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """Render ``registry`` in the Prometheus text format (version 0.0.4)."""
+    lines: list[str] = []
+
+    for counter in registry.counters():
+        sample = sanitize_name(counter.name) + "_total"
+        lines.append(f"# HELP {sample} {counter.help or counter.name}")
+        lines.append(f"# TYPE {sample} counter")
+        for key, value in counter.series():
+            lines.append(f"{sample}{_labels_str(key)} {_format_value(value)}")
+
+    for gauge in registry.gauges():
+        sample = sanitize_name(gauge.name)
+        lines.append(f"# HELP {sample} {gauge.help or gauge.name}")
+        lines.append(f"# TYPE {sample} gauge")
+        for key, value in gauge.series():
+            lines.append(f"{sample}{_labels_str(key)} {_format_value(value)}")
+
+    for histogram in registry.histograms():
+        sample = sanitize_name(histogram.name)
+        lines.append(f"# HELP {sample} {histogram.help or histogram.name}")
+        lines.append(f"# TYPE {sample} histogram")
+        bounds = list(histogram.buckets) + [float("inf")]
+        for key, snap in histogram.series():
+            cumulative = 0
+            for bound, bucket_count in zip(bounds, snap["bucket_counts"]):
+                cumulative += bucket_count
+                le = [("le", _le_str(bound))]
+                lines.append(
+                    f"{sample}_bucket{_labels_str(key, le)} {cumulative}"
+                )
+            lines.append(
+                f"{sample}_sum{_labels_str(key)} {_format_value(snap['sum'])}"
+            )
+            lines.append(f"{sample}_count{_labels_str(key)} {snap['count']}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,398 @@
+"""The ``SYS`` virtual catalog: engine telemetry as extended NF² tables.
+
+The paper's pitch is *an integrated view on flat tables and hierarchies* —
+so the reproduction's own telemetry is exposed the same way.  Histogram
+buckets are a list-valued subtable under their metric, lock grants are
+rows, counter deltas hang under the statement that caused them.  Litwin's
+*stored and inherited relations* motivates the construct: these are
+relations whose tuples are **computed from engine state at read time**,
+never stored.
+
+Views (query them like any table, e.g. ``FROM m IN SYS.METRICS``):
+
+========================  ====================================================
+``SYS.METRICS``           one row per metric series (counter / gauge /
+                          histogram × label combination), with a ``LABELS``
+                          subtable and, for histograms, a ``BUCKETS`` list
+``SYS.SESSIONS``          the sessions currently registered on the database
+``SYS.LOCKS``             every lock grant and waiter in the lock manager
+``SYS.WAL``               one row of write-ahead-log statistics (zero rows
+                          for in-memory / ``wal=False`` databases)
+``SYS.TABLES``            the user catalog: kind, cardinality, nesting depth
+``SYS.INDEXES``           index definitions + cost-model statistics
+``SYS.QUERIES``           the ring of recently finished statements, with a
+                          ``COUNTERS`` subtable of per-statement deltas
+========================  ====================================================
+
+The views are read-only (DML and DDL against ``SYS.*`` is rejected) and
+non-versioned (``ASOF`` binds to an error like any non-versioned table).
+Everything downstream of binding — nesting, EXISTS, subscripting, ORDER
+BY, EXPLAIN — works unchanged because the binder and executor only ever
+see an ordinary :class:`~repro.model.schema.TableSchema` and a stream of
+:class:`~repro.model.values.TupleValue` rows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.model.schema import TableSchema, atomic, list_of, nested, table
+from repro.model.values import TupleValue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.database import Database
+
+#: the view part of every recognized SYS table name, canonical (upper)
+SYS_VIEW_NAMES = (
+    "METRICS",
+    "SESSIONS",
+    "LOCKS",
+    "WAL",
+    "TABLES",
+    "INDEXES",
+    "QUERIES",
+)
+
+
+def is_sys_table(name: str) -> bool:
+    """True when *name* is a ``SYS.<view>`` reference (any case)."""
+    if not name.upper().startswith("SYS."):
+        return False
+    return name.upper().split(".", 1)[1] in SYS_VIEW_NAMES
+
+
+def _view_of(name: str) -> str:
+    view = name.upper().split(".", 1)[1]
+    if view not in SYS_VIEW_NAMES:
+        raise KeyError(name)
+    return view
+
+
+# --------------------------------------------------------------------------
+# Schemas (TableSchema names may not contain dots, hence SYS_*)
+# --------------------------------------------------------------------------
+
+_LABELS = table("LABELS", atomic("NAME", "STRING"), atomic("VALUE", "STRING"))
+
+_BUCKETS = list_of(
+    "BUCKETS",
+    atomic("BOUND", "FLOAT"),       # bucket upper bound (inf = overflow)
+    atomic("COUNT", "INT"),         # observations in this bucket (raw)
+    atomic("CUMULATIVE", "INT"),    # observations at or below BOUND
+)
+
+METRICS_SCHEMA = table(
+    "SYS_METRICS",
+    atomic("NAME", "STRING"),
+    atomic("KIND", "STRING"),       # counter | gauge | histogram
+    nested("LABELS", _LABELS),
+    atomic("VALUE", "FLOAT"),       # counter/gauge value (NULL for histograms)
+    atomic("COUNT", "INT"),         # histogram observations (NULL otherwise)
+    atomic("SUM", "FLOAT"),
+    atomic("MIN", "FLOAT"),
+    atomic("MAX", "FLOAT"),
+    atomic("AVG", "FLOAT"),
+    nested("BUCKETS", _BUCKETS),    # empty for counters/gauges
+)
+
+SESSIONS_SCHEMA = table(
+    "SYS_SESSIONS",
+    atomic("NAME", "STRING"),
+    atomic("THREAD", "STRING"),
+    atomic("IN_TXN", "BOOL"),       # inside an explicit transaction block
+    atomic("STATEMENTS", "INT"),    # statements executed on this session
+    atomic("LOCK_TIMEOUT", "FLOAT"),
+    atomic("LAST_LOCK_REQUESTS", "INT"),
+    atomic("LAST_LOCK_WAITS", "INT"),
+)
+
+LOCKS_SCHEMA = table(
+    "SYS_LOCKS",
+    atomic("TXN", "INT"),
+    atomic("TXN_NAME", "STRING"),
+    atomic("LEVEL", "STRING"),      # table | object | wal
+    atomic("RESOURCE", "STRING"),
+    atomic("MODE", "STRING"),       # IS | IX | S | X
+    atomic("GRANTED", "BOOL"),      # False: waiting
+)
+
+WAL_SCHEMA = table(
+    "SYS_WAL",
+    atomic("PATH", "STRING"),
+    atomic("SIZE_BYTES", "INT"),
+    atomic("BYTES_SINCE_CHECKPOINT", "INT"),
+    atomic("AUTO_CHECKPOINT_BYTES", "INT"),
+    atomic("RECORDS_APPENDED", "INT"),
+    atomic("BYTES_APPENDED", "INT"),
+    atomic("FSYNCS", "INT"),
+    atomic("COMMITS", "INT"),
+    atomic("ABORTS", "INT"),
+    atomic("CHECKPOINTS", "INT"),
+    atomic("IN_TXN", "BOOL"),
+    atomic("UNLOGGED_DIRTY_PAGES", "INT"),
+)
+
+TABLES_SCHEMA = table(
+    "SYS_TABLES",
+    atomic("NAME", "STRING"),
+    atomic("KIND", "STRING"),       # flat | nested
+    atomic("ORDERED", "BOOL"),
+    atomic("VERSIONED", "BOOL"),
+    atomic("VERSIONING", "STRING"),
+    atomic("TUPLES", "INT"),        # current top-level cardinality
+    atomic("DEPTH", "INT"),         # nesting depth (flat = 1)
+    atomic("ATTRIBUTES", "INT"),    # top-level attribute count
+    atomic("INDEXES", "INT"),
+)
+
+INDEXES_SCHEMA = table(
+    "SYS_INDEXES",
+    atomic("NAME", "STRING"),
+    atomic("TABLE_NAME", "STRING"),
+    atomic("KIND", "STRING"),       # flat | nf2 | text
+    atomic("MODE", "STRING"),       # data-tid | root-tid | hierarchical | text
+    atomic("PATH", "STRING"),       # dotted attribute path
+    atomic("ENTRY_COUNT", "INT"),
+    atomic("DISTINCT_KEYS", "INT"),
+    atomic("MAX_POSTING_LIST", "INT"),
+    atomic("AVG_POSTING_LIST", "FLOAT"),
+)
+
+_QUERY_COUNTERS = table(
+    "COUNTERS", atomic("NAME", "STRING"), atomic("DELTA", "FLOAT")
+)
+
+_QUERY_TABLES = table("TABLES", atomic("NAME", "STRING"))
+
+QUERIES_SCHEMA = table(
+    "SYS_QUERIES",
+    atomic("TEXT", "STRING"),
+    atomic("KIND", "STRING"),       # SELECT | INSERT | ... | OTHER
+    atomic("FINGERPRINT", "STRING"),
+    atomic("STARTED_AT", "FLOAT"),  # epoch seconds
+    atomic("LATENCY_MS", "FLOAT"),
+    atomic("TUPLES", "INT"),        # result rows / affected count
+    nested("TABLES", _QUERY_TABLES),
+    nested("COUNTERS", _QUERY_COUNTERS),
+    atomic("SESSION", "STRING"),
+    atomic("THREAD", "STRING"),
+    atomic("ERROR", "STRING"),
+)
+
+_SCHEMAS: dict[str, TableSchema] = {
+    "METRICS": METRICS_SCHEMA,
+    "SESSIONS": SESSIONS_SCHEMA,
+    "LOCKS": LOCKS_SCHEMA,
+    "WAL": WAL_SCHEMA,
+    "TABLES": TABLES_SCHEMA,
+    "INDEXES": INDEXES_SCHEMA,
+    "QUERIES": QUERIES_SCHEMA,
+}
+
+
+def sys_view_schema(name: str) -> TableSchema:
+    """The schema of a ``SYS.<view>`` table (KeyError when unknown)."""
+    return _SCHEMAS[_view_of(name)]
+
+
+# --------------------------------------------------------------------------
+# Row producers — each computes its tuples from live engine state
+# --------------------------------------------------------------------------
+
+
+def iterate_sys_view(db: "Database", name: str) -> Iterator[TupleValue]:
+    """Stream the current rows of a ``SYS.<view>`` table."""
+    view = _view_of(name)
+    producer = _PRODUCERS[view]
+    schema = _SCHEMAS[view]
+    for row in producer(db):
+        yield TupleValue.from_plain(schema, row)
+
+
+def _float(value) -> float | None:
+    return None if value is None else float(value)
+
+
+def _metric_rows(db: "Database") -> Iterator[dict]:
+    from .metrics import METRICS
+
+    def labels(key) -> list[dict]:
+        return [{"NAME": k, "VALUE": str(v)} for k, v in key]
+
+    base = {
+        "VALUE": None,
+        "COUNT": None,
+        "SUM": None,
+        "MIN": None,
+        "MAX": None,
+        "AVG": None,
+        "BUCKETS": [],
+    }
+    for counter in METRICS.counters():
+        for key, value in counter.series():
+            yield {
+                **base,
+                "NAME": counter.name,
+                "KIND": "counter",
+                "LABELS": labels(key),
+                "VALUE": _float(value),
+            }
+    for gauge in METRICS.gauges():
+        for key, value in gauge.series():
+            yield {
+                **base,
+                "NAME": gauge.name,
+                "KIND": "gauge",
+                "LABELS": labels(key),
+                "VALUE": _float(value),
+            }
+    for histogram in METRICS.histograms():
+        bounds = list(histogram.buckets) + [float("inf")]
+        for key, snap in histogram.series():
+            cumulative = 0
+            buckets = []
+            for bound, count in zip(bounds, snap["bucket_counts"]):
+                cumulative += count
+                buckets.append(
+                    {
+                        "BOUND": float(bound),
+                        "COUNT": count,
+                        "CUMULATIVE": cumulative,
+                    }
+                )
+            count = snap["count"]
+            yield {
+                **base,
+                "NAME": histogram.name,
+                "KIND": "histogram",
+                "LABELS": labels(key),
+                "COUNT": count,
+                "SUM": _float(snap["sum"]),
+                "MIN": _float(snap["min"]),
+                "MAX": _float(snap["max"]),
+                "AVG": _float(snap["sum"] / count) if count else None,
+                "BUCKETS": buckets,
+            }
+
+
+def _session_rows(db: "Database") -> Iterator[dict]:
+    for session in db.active_sessions():
+        yield {
+            "NAME": session.name,
+            "THREAD": getattr(session, "thread_name", None),
+            "IN_TXN": session.in_transaction,
+            "STATEMENTS": getattr(session, "statements", 0),
+            "LOCK_TIMEOUT": _float(session.lock_timeout),
+            "LAST_LOCK_REQUESTS": session.last_lock_requests,
+            "LAST_LOCK_WAITS": session.last_lock_waits,
+        }
+
+
+def _lock_rows(db: "Database") -> Iterator[dict]:
+    for info in db.locks.snapshot():
+        yield {
+            "TXN": info.txn,
+            "TXN_NAME": info.txn_name,
+            "LEVEL": str(info.resource[0]),
+            "RESOURCE": ".".join(str(part) for part in info.resource[1:]),
+            "MODE": info.mode.value,
+            "GRANTED": info.granted,
+        }
+
+
+def _wal_rows(db: "Database") -> Iterator[dict]:
+    if db.wal is None:
+        return
+    stats = db.wal.stats()
+    yield {
+        "PATH": str(stats["path"]),
+        "SIZE_BYTES": stats["size_bytes"],
+        "BYTES_SINCE_CHECKPOINT": stats["bytes_since_checkpoint"],
+        "AUTO_CHECKPOINT_BYTES": stats["auto_checkpoint_bytes"],
+        "RECORDS_APPENDED": stats["records_appended"],
+        "BYTES_APPENDED": stats["bytes_appended"],
+        "FSYNCS": stats["fsyncs"],
+        "COMMITS": stats["commits"],
+        "ABORTS": stats["aborts"],
+        "CHECKPOINTS": stats["checkpoints"],
+        "IN_TXN": bool(stats["in_txn"]),
+        "UNLOGGED_DIRTY_PAGES": stats["unlogged_dirty_pages"],
+    }
+
+
+def _table_rows(db: "Database") -> Iterator[dict]:
+    for entry in sorted(db.catalog.tables(), key=lambda e: e.name):
+        yield {
+            "NAME": entry.name,
+            "KIND": "flat" if entry.is_flat else "nested",
+            "ORDERED": entry.schema.ordered,
+            "VERSIONED": entry.versioned,
+            "VERSIONING": entry.versioning,
+            "TUPLES": len(entry.tids),
+            "DEPTH": entry.schema.depth(),
+            "ATTRIBUTES": len(entry.schema.attributes),
+            "INDEXES": len(entry.indexes),
+        }
+
+
+def _index_rows(db: "Database") -> Iterator[dict]:
+    from repro.index.manager import FlatIndex
+    from repro.index.text import TextIndex
+
+    for entry in sorted(db.catalog.tables(), key=lambda e: e.name):
+        for index_name in sorted(entry.indexes):
+            index = entry.indexes[index_name]
+            definition = index.definition
+            if isinstance(index, TextIndex):
+                kind = mode = "text"
+            elif isinstance(index, FlatIndex):
+                kind = "flat"
+                mode = definition.mode.value
+            else:
+                kind = "nf2"
+                mode = definition.mode.value
+            stats = getattr(index, "stats", None)
+            yield {
+                "NAME": definition.name,
+                "TABLE_NAME": definition.table,
+                "KIND": kind,
+                "MODE": mode,
+                "PATH": ".".join(definition.attribute_path),
+                "ENTRY_COUNT": getattr(stats, "entry_count", None),
+                "DISTINCT_KEYS": getattr(stats, "distinct_keys", None),
+                "MAX_POSTING_LIST": getattr(stats, "max_posting_list", None),
+                "AVG_POSTING_LIST": (
+                    _float(stats.avg_posting_list) if stats is not None else None
+                ),
+            }
+
+
+def _query_rows(db: "Database") -> Iterator[dict]:
+    for record in db.query_log.tail():
+        yield {
+            "TEXT": record.text,
+            "KIND": record.kind,
+            "FINGERPRINT": record.fingerprint,
+            "STARTED_AT": record.started_at,
+            "LATENCY_MS": record.latency_ms,
+            "TUPLES": record.rows,
+            "TABLES": [{"NAME": t} for t in record.tables],
+            "COUNTERS": [
+                {"NAME": name, "DELTA": _float(delta)}
+                for name, delta in sorted(record.counters.items())
+            ],
+            "SESSION": record.session,
+            "THREAD": record.thread_name,
+            "ERROR": record.error,
+        }
+
+
+_PRODUCERS = {
+    "METRICS": _metric_rows,
+    "SESSIONS": _session_rows,
+    "LOCKS": _lock_rows,
+    "WAL": _wal_rows,
+    "TABLES": _table_rows,
+    "INDEXES": _index_rows,
+    "QUERIES": _query_rows,
+}

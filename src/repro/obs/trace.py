@@ -15,6 +15,7 @@ tracing-when-off is one attribute load and a branch.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -69,12 +70,30 @@ class Span:
 
 
 class Trace:
-    """A finished statement trace: a root span plus wall-clock anchoring."""
+    """A finished statement trace: a root span plus wall-clock anchoring.
 
-    def __init__(self, root: Span, started_at: Optional[float] = None):
+    Each trace records *where* it ran — the OS thread (name + ident) and,
+    when the engine set one, a session label — so that traces from
+    concurrent TCP sessions interleaved in the shared ring stay
+    attributable.
+    """
+
+    def __init__(
+        self,
+        root: Span,
+        started_at: Optional[float] = None,
+        thread_name: Optional[str] = None,
+        thread_id: Optional[int] = None,
+        session: Optional[str] = None,
+    ):
         self.root = root
         #: wall-clock epoch seconds when the trace began (export metadata)
         self.started_at = time.time() if started_at is None else started_at
+        current = threading.current_thread()
+        self.thread_name = current.name if thread_name is None else thread_name
+        self.thread_id = current.ident if thread_id is None else thread_id
+        #: engine-assigned session label (``Tracer.set_session``), if any
+        self.session = session
 
     @property
     def name(self) -> str:
@@ -95,6 +114,9 @@ class Trace:
         return {
             "format": "repro.obs.trace/1",
             "started_at": self.started_at,
+            "thread_name": self.thread_name,
+            "thread_id": self.thread_id,
+            "session": self.session,
             "root": self.root.to_dict(),
         }
 
@@ -102,7 +124,13 @@ class Trace:
     def from_dict(cls, data: dict) -> "Trace":
         if data.get("format") != "repro.obs.trace/1":
             raise ValueError("not a repro.obs trace")
-        return cls(Span.from_dict(data["root"]), started_at=data["started_at"])
+        return cls(
+            Span.from_dict(data["root"]),
+            started_at=data["started_at"],
+            thread_name=data.get("thread_name"),
+            thread_id=data.get("thread_id"),
+            session=data.get("session"),
+        )
 
     def chrome_events(self) -> list[dict]:
         """Chrome ``trace_event`` complete events ("ph": "X"), one per
@@ -147,13 +175,31 @@ def _jsonable(value: Any) -> Any:
 
 
 class Tracer:
-    """Maintains the active span stack and a ring of finished traces."""
+    """Maintains per-thread active span stacks and a shared ring of
+    finished traces.
+
+    The span stack is **thread-local**: under PR 4's statement
+    parallelism a single shared list interleaved spans from concurrent
+    sessions into one stack and corrupted parent/child links (a span
+    opened on thread A became the parent of thread B's spans).  Each
+    thread now builds its own span tree; only the *finished* trace ring
+    (``traces`` / ``last_trace``) is shared, and every :class:`Trace` is
+    tagged with the thread and session it came from.
+    """
 
     def __init__(self, enabled: bool = False, keep: int = 32):
         self.enabled = enabled
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self.traces: deque[Trace] = deque(maxlen=keep)
         self.last_trace: Optional[Trace] = None
+
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created lazily per thread)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -163,6 +209,20 @@ class Tracer:
     def disable(self) -> None:
         self.enabled = False
         self._stack.clear()
+
+    # -- session attribution ---------------------------------------------------
+
+    def set_session(self, label: Optional[str]) -> Optional[str]:
+        """Set (or clear, with ``None``) this thread's session label and
+        return the previous one.  Finished traces started on this thread
+        carry the label; the Session layer brackets statements with it."""
+        previous = getattr(self._local, "session", None)
+        self._local.session = label
+        return previous
+
+    @property
+    def session(self) -> Optional[str]:
+        return getattr(self._local, "session", None)
 
     # -- spans ---------------------------------------------------------------
 
@@ -191,7 +251,7 @@ class Tracer:
                     self._stack.pop()
                 self._stack.pop()
             if parent is None:
-                trace = Trace(span)
+                trace = Trace(span, session=self.session)
                 self.traces.append(trace)
                 self.last_trace = trace
 

@@ -528,15 +528,17 @@ def compare(op: str, left: Any, right: Any) -> bool:
 
 def masked_match(pattern: str, text: Any) -> bool:
     """The paper's masked search: ``*`` matches any run, ``?`` one
-    character; matching is case-insensitive and applies anywhere a full
-    match of the pattern fits the whole string.
+    character; matching is case-insensitive and the pattern may match
+    anywhere inside the subject (substring semantics — ``CONTAINS
+    'latency'`` matches ``'query.latency_ms'``; use ``=`` for exact
+    string equality).
 
     A non-string subject (a number, a NULL that slipped past the caller)
     simply does not match — two-valued semantics, not a crash."""
     if not isinstance(text, str):
         return False
     regex = _compile_mask(pattern)
-    return regex.fullmatch(text) is not None
+    return regex.search(text) is not None
 
 
 def _compile_mask(pattern: str) -> "re.Pattern[str]":

@@ -35,6 +35,7 @@ import datetime
 from typing import Optional
 
 from repro.errors import ParseError
+from repro.obs.sysviews import SYS_VIEW_NAMES
 from repro.query import ast
 from repro.query.lexer import Token, tokenize
 
@@ -208,6 +209,19 @@ class _Parser:
 
     def parse_source(self) -> ast.Source:
         name = self.expect_ident("table name or path")
+        # SYS.<view> — the virtual observability catalog.  Only recognized
+        # for the known view names, so an outer range variable that happens
+        # to be called SYS can still own ordinary nested-path sources.
+        if (
+            name.upper() == "SYS"
+            and self.at_punct(".")
+            and self.peek().kind == "ident"
+            and self.peek().text.upper() in SYS_VIEW_NAMES
+        ):
+            self.advance()  # '.'
+            view = self.advance().text.upper()
+            asof = self.parse_asof()
+            return ast.Source(table=f"SYS.{view}", asof=asof)
         if self.at_punct(".") or self.at_punct("["):
             path = self.parse_path_continuation(name)
             asof = self.parse_asof()

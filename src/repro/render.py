@@ -21,8 +21,15 @@ def format_atom(value: Any) -> str:
         return "true" if value else "false"
     if isinstance(value, datetime.date):
         return value.isoformat()
-    if isinstance(value, float) and value == int(value):
-        return str(int(value))
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value):
+            return str(int(value))
     return str(value)
 
 

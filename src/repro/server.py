@@ -18,6 +18,11 @@ Wire protocol (text, UTF-8, newline-framed — telnet/netcat friendly):
 * Three session-control verbs manage an explicit transaction scope:
   ``BEGIN``, ``COMMIT``, ``ROLLBACK`` (strict two-phase locking; see
   :mod:`repro.concurrency.session`).
+* ``METRICS`` returns the live metrics registry rendered in the
+  Prometheus text format — the scrape surface
+  (``printf 'METRICS\\n' | nc host port`` works like a ``curl`` against
+  ``/metrics``); ``SYS.*`` tables offer the same data as queryable NF²
+  relations.
 * The server answers with a header line ``#<n>`` followed by exactly
   *n* payload lines — the same text the shell would have printed.
   Errors are payload lines starting with ``error:``; the connection
@@ -78,6 +83,11 @@ class _Connection(socketserver.StreamRequestHandler):
                         break
                     # dot-commands read shared state; route to the real db
                     dot_command(db, line, out=out)
+                elif upper == "METRICS":
+                    # the scrape verb: Prometheus text exposition
+                    from repro.obs import METRICS
+
+                    out.write(METRICS.to_prometheus())
                 elif upper == "BEGIN":
                     if txn is not None:
                         print("error: transaction already open", file=out)

@@ -10,7 +10,11 @@ dot-commands::
     .tables              list tables
     .schema NAME         show a table's DDL
     .indexes             list indexes
-    .stats               buffer-manager counters + engine metric totals
+    .stats               buffer-manager counters, engine metric totals,
+                         and histogram summaries (count/avg/p95)
+    .metrics [FILE]      metrics in Prometheus text format (print / export)
+    .queries [N]         recently finished statements (SYS.QUERIES tail)
+    .slowlog [MS [FILE]] show/set the slow-query threshold + sink
     .profile on|off      enable/disable observability (metrics + tracing)
     .trace FILE          export the last statement trace (Chrome format)
     .storage             per-table storage report (pages, fill, MD/data)
@@ -25,6 +29,10 @@ dot-commands::
 ``EXPLAIN ANALYZE <query>;`` works as a statement and prints the
 annotated plan; ``.profile on`` keeps the metrics registry running so
 ``.stats`` accumulates engine counters across statements.
+
+All telemetry is also queryable as NF² relations through the virtual
+``SYS`` schema (``SELECT m.NAME FROM m IN SYS.METRICS``, ``SYS.QUERIES``,
+``SYS.LOCKS``, ...) — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -113,6 +121,69 @@ def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
             print("  engine counters:", file=out)
             for name, value in totals.items():
                 print(f"    {name}: {value:g}", file=out)
+        histograms = [h for h in obs.METRICS.histograms() if h.combined()["count"]]
+        if histograms:
+            print("  histograms:", file=out)
+            for histogram in histograms:
+                summary = histogram.combined()
+                p95 = histogram.quantile(0.95)
+                p95_text = "inf" if p95 == float("inf") else f"{p95:g}"
+                print(
+                    f"    {histogram.name}: count {summary['count']}, "
+                    f"avg {summary['avg']:.3g}, min {summary['min']:g}, "
+                    f"max {summary['max']:g}, p95<={p95_text}",
+                    file=out,
+                )
+    elif command == ".metrics":
+        text = obs.METRICS.to_prometheus()
+        if len(parts) > 1:
+            with open(parts[1], "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {parts[1]}", file=out)
+        elif not text:
+            print("no metrics recorded — try .profile on first", file=out)
+        else:
+            out.write(text)
+    elif command == ".queries":
+        try:
+            n = int(parts[1]) if len(parts) > 1 else 10
+        except ValueError:
+            print("usage: .queries [N]", file=out)
+            n = None
+        if n is not None:
+            records = db.query_log.tail(n)
+            if not records:
+                print("  no finished statements recorded", file=out)
+            for record in records:
+                who = record.session or record.thread_name or "-"
+                error = f"  ERROR {record.error}" if record.error else ""
+                print(
+                    f"  [{record.fingerprint}] {record.kind:<7} "
+                    f"{record.latency_ms:8.3f} ms  {record.rows:>6} rows  "
+                    f"({who})  {record.text[:60]}{error}",
+                    file=out,
+                )
+    elif command == ".slowlog":
+        if len(parts) > 1:
+            try:
+                threshold = None if parts[1].lower() == "off" else float(parts[1])
+            except ValueError:
+                print("usage: .slowlog [MS|off [FILE]]", file=out)
+                threshold = False  # sentinel: bad input
+            if threshold is not False:
+                db.query_log.configure(
+                    slow_ms=threshold,
+                    slow_log_path=parts[2] if len(parts) > 2 else None,
+                )
+        if db.query_log.slow_ms is None:
+            print("  slow-query log off", file=out)
+        else:
+            print(
+                f"  statements >= {db.query_log.slow_ms:g} ms are appended "
+                f"to {db.query_log.slow_log_path} "
+                f"({db.query_log.slow_logged} logged so far)",
+                file=out,
+            )
     elif command == ".profile":
         mode = parts[1].lower() if len(parts) > 1 else None
         if mode == "on":

@@ -176,7 +176,10 @@ def test_masked_match_semantics():
     assert not masked_match("*comput*", "compiler")
     assert masked_match("?omputer", "Computer")
     assert masked_match("comput*", "computing times")
-    assert not masked_match("comput", "computing")  # full match semantics
+    # substring semantics: a bare pattern matches anywhere in the subject
+    # (CONTAINS 'latency' finds 'query.latency_ms'; use = for equality)
+    assert masked_match("comput", "computing")
+    assert not masked_match("comput", "compiler")
     assert masked_match("*", "anything")
 
 
