@@ -12,10 +12,16 @@ overhead ratio, plus the cost of scraping the ``SYS`` views themselves.
 * **A3 workload** — the Section 4.2 conjunctive query: "project *p* with
   a consultant in the same project", answered via hierarchical indexes.
 
+PR 6 adds a third pair of arms: the same A1/A3 workloads driven through
+a :class:`~repro.concurrency.session.Session` with the active-session-
+history sampler (``SYS.ASH``) off vs on, bounding what continuous
+background sampling plus wait-event bookkeeping costs a foreground
+query stream.
+
 The overhead ceiling is configurable: the test fails when the enabled
-run is more than ``REPRO_OBS_MAX_OVERHEAD`` (default 1.5 = +150 %)
-slower than the disabled run.  Timings use min-of-rounds to shave
-scheduler noise; the snapshot lands in
+(or sampler-on) run is more than ``REPRO_OBS_MAX_OVERHEAD`` (default
+1.5 = +150 %) slower than its baseline.  Timings use min-of-rounds to
+shave scheduler noise; the snapshot lands in
 ``benchmarks/out/BENCH_observability.json``.
 
 Scale knobs: ``REPRO_OBS_SCALE`` (departments, default 32),
@@ -93,6 +99,31 @@ def time_workload(db: Database, enabled: bool) -> dict:
         METRICS.disable()
 
 
+def time_session_workload(db: Database, session, sampler: bool) -> dict:
+    """min-of-rounds for the same queries through a session, with the
+    ASH sampler running (``sampler=True``) or stopped.  Metrics stay off
+    in both arms: the delta isolates the sampler + wait-event cost."""
+    assert not TRACER.enabled and not METRICS.enabled
+    if sampler:
+        db.ash.start()
+    else:
+        db.ash.stop()
+    try:
+        per_query = {}
+        for name, sql in QUERIES.items():
+            session.query(sql)  # warm
+            best = float("inf")
+            for _ in range(ROUNDS):
+                start = time.perf_counter()
+                for _ in range(ITERATIONS):
+                    session.query(sql)
+                best = min(best, time.perf_counter() - start)
+            per_query[name] = best / ITERATIONS * 1000.0  # ms/query
+        return per_query
+    finally:
+        db.ash.stop()
+
+
 def time_scrape(db: Database) -> dict:
     """How long one observability read itself takes (metrics enabled)."""
     METRICS.enable()
@@ -123,15 +154,23 @@ def time_scrape(db: Database) -> dict:
 def test_observability_overhead(benchmark):
     db = build()
     was_enabled = METRICS.enabled
+    session = db.session(name="bench")
     try:
         disabled = time_workload(db, enabled=False)
         enabled = time_workload(db, enabled=True)
+        sampler_off = time_session_workload(db, session, sampler=False)
+        sampler_on = time_session_workload(db, session, sampler=True)
+        ash_samples = len(db.ash.samples)
         scrape = time_scrape(db)
     finally:
+        session.close()
         METRICS.enabled = was_enabled
 
     overhead = {
         name: enabled[name] / disabled[name] - 1.0 for name in QUERIES
+    }
+    sampler_overhead = {
+        name: sampler_on[name] / sampler_off[name] - 1.0 for name in QUERIES
     }
     payload = {
         "scale": SCALE,
@@ -141,6 +180,11 @@ def test_observability_overhead(benchmark):
         "disabled_ms_per_query": disabled,
         "enabled_ms_per_query": enabled,
         "overhead_ratio": overhead,
+        "sampler_off_ms_per_query": sampler_off,
+        "sampler_on_ms_per_query": sampler_on,
+        "sampler_overhead_ratio": sampler_overhead,
+        "ash_period_ms": db.ash.period_ms,
+        "ash_samples_taken": ash_samples,
         "scrape_ms": scrape,
     }
     emit_json("BENCH_observability", payload)
@@ -153,6 +197,19 @@ def test_observability_overhead(benchmark):
             f"{name:<18} {disabled[name]:>9.3f} {enabled[name]:>9.3f} "
             f"{overhead[name]:>+8.1%}"
         )
+    lines.append("")
+    lines.append(
+        f"{'session workload':<18} {'ash off':>9} {'ash on':>9} {'overhead':>9}"
+    )
+    for name in QUERIES:
+        lines.append(
+            f"{name:<18} {sampler_off[name]:>9.3f} {sampler_on[name]:>9.3f} "
+            f"{sampler_overhead[name]:>+8.1%}"
+        )
+    lines.append(
+        f"  (sampler period {db.ash.period_ms:g} ms, "
+        f"{ash_samples} samples captured)"
+    )
     lines.append("")
     lines.append("scrape cost (metrics enabled):")
     for name, ms in scrape.items():
@@ -169,6 +226,12 @@ def test_observability_overhead(benchmark):
             f"{name}: metrics-enabled run is {ratio:+.1%} slower than "
             f"disabled (ceiling {MAX_OVERHEAD:+.1%}) — instrumentation "
             "got too expensive"
+        )
+    for name, ratio in sampler_overhead.items():
+        assert ratio <= MAX_OVERHEAD, (
+            f"{name}: ASH-sampler-on run is {ratio:+.1%} slower than "
+            f"sampler-off (ceiling {MAX_OVERHEAD:+.1%}) — background "
+            "sampling got too expensive"
         )
 
     # pytest-benchmark record for trend tracking: the A3 query with the

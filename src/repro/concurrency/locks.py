@@ -26,6 +26,12 @@ Metrics (when :mod:`repro.obs` profiling is enabled):
 * ``lock.deadlocks`` — a waiter was aborted as a deadlock victim
 * ``lock.timeouts`` — a waiter gave up after its timeout
 * ``latch.contention`` — a latch acquire found the latch held
+
+Every blocking wait additionally reports into the wait-event registry
+(:data:`repro.obs.WAITS`): lock waits as ``Lock/<level><mode>`` named by
+the *requested* mode (``Lock/TableIS``, ``Lock/ObjectX``, ``Lock/Wal``),
+contended latches as ``Latch/<name>`` — so blocked time is attributed to
+the statement and session that paid for it (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -204,6 +210,7 @@ class LockManager:
             ):
                 return False
             waiter: Optional[_Waiter] = None
+            wait_token = None
             try:
                 while True:
                     # re-resolve the grant table every iteration: while this
@@ -223,6 +230,12 @@ class LockManager:
                         waited = True
                         self.waits += 1
                         obs.METRICS.inc("lock.waits")
+                        # wait-event attribution starts at the first block
+                        wait_token = obs.WAITS.enter(
+                            obs.lock_event(resource, mode),
+                            resource=".".join(str(p) for p in resource),
+                            blockers=sorted(blockers),
+                        )
                     self._abort_deadlock_victim()
                     if waiter.victim:
                         self.deadlocks += 1
@@ -243,6 +256,8 @@ class LockManager:
                         )
                     self._cond.wait(min(remaining, 0.05))
             finally:
+                if wait_token is not None:
+                    obs.WAITS.exit(wait_token)
                 if waiter is not None:
                     self._waiters.remove(waiter)
                 current = self._resources.get(resource)
@@ -367,7 +382,8 @@ class Latch:
             return
         self.contention += 1
         obs.METRICS.inc("latch.contention", label=self.name)
-        self._lock.acquire()
+        with obs.wait_event(f"Latch/{self.name}"):
+            self._lock.acquire()
 
     def release(self) -> None:
         self._lock.release()

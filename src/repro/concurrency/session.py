@@ -78,6 +78,16 @@ class Session:
         #: observability: SYS.SESSIONS exposes these
         self.thread_name = threading.current_thread().name
         self.statements = 0
+        #: the statement this session is inside right now (ASH samples it)
+        self.current_statement: Optional[str] = None
+        #: OS thread ident while inside a statement — lets the wait
+        #: registry and the ASH sampler read this session's live state
+        self.thread_ident: Optional[int] = None
+        #: lifetime wait totals {event: [count, time_ms]} (SYS.SESSIONS)
+        self.wait_totals: dict[str, list] = {}
+        #: the last finished statement's wait breakdown
+        self.last_waits: dict[str, tuple[int, float]] = {}
+        self._waits_latch = threading.Lock()
         db._register_session(self)
 
     # -- plumbing ----------------------------------------------------------
@@ -94,7 +104,7 @@ class Session:
             )
 
     @contextmanager
-    def _statement(self):
+    def _statement(self, description: Optional[str] = None):
         """Route one statement through this session.
 
         Publishes the session in the database's thread-local context (so
@@ -103,6 +113,10 @@ class Session:
         concurrency abort inside an explicit transaction — rolls the
         transaction back immediately so the held locks stop blocking the
         survivors even if the caller swallows the exception.
+
+        *description* (the statement text, or an API-call label) plus
+        the thread ident published here are what the ASH sampler and the
+        wait registry use to attribute this session's live state.
         """
         self._check_open()
         ctx = self._db._session_ctx
@@ -114,6 +128,8 @@ class Session:
         self._stmt_lock_requests = 0
         self._stmt_lock_waits = 0
         self.thread_name = threading.current_thread().name
+        self.thread_ident = threading.get_ident()
+        self.current_statement = description
         self.statements += 1
         previous_label = TRACER.set_session(self.name)
         try:
@@ -124,12 +140,42 @@ class Session:
             raise
         finally:
             TRACER.set_session(previous_label)
+            self.current_statement = None
             self.last_lock_requests = self._stmt_lock_requests
             self.last_lock_waits = self._stmt_lock_waits
+            # API-path statements (session.insert(...) etc.) bypass
+            # Database.execute, so their waits are still parked in the
+            # registry — collect them here; the execute path has already
+            # drained them into _note_waits via _record_statement
+            from repro.obs import WAITS
+
+            leftover = WAITS.take_statement()
+            if leftover:
+                self._note_waits(leftover)
             if autocommit and self._txn is not None:
                 self._db.locks.release_all(self._txn)
                 self._txn = None
             ctx.current = previous
+
+    def _note_waits(self, waits: dict[str, tuple[int, float]]) -> None:
+        """Fold one statement's wait breakdown into the session's
+        lifetime totals (called from the engine's finish line)."""
+        if not waits:
+            return
+        with self._waits_latch:
+            self.last_waits = dict(waits)
+            for event, (count, ms) in waits.items():
+                cell = self.wait_totals.get(event)
+                if cell is None:
+                    self.wait_totals[event] = [count, ms]
+                else:
+                    cell[0] += count
+                    cell[1] += ms
+
+    def wait_summary(self) -> dict[str, tuple[int, float]]:
+        """Lifetime ``{event: (count, time_ms)}`` for this session."""
+        with self._waits_latch:
+            return {e: (c[0], c[1]) for e, c in self.wait_totals.items()}
 
     def lock(self, resource: Resource, mode: LockMode) -> None:
         """Acquire *mode* on *resource* for the current scope (engine
@@ -159,27 +205,27 @@ class Session:
 
     def execute(self, text: str) -> Any:
         """Execute any statement (see :meth:`Database.execute`)."""
-        with self._statement():
+        with self._statement(text.strip()):
             return self._db.execute(text)
 
     def query(self, text: str) -> "TableValue":
-        with self._statement():
+        with self._statement(text.strip()):
             return self._db.query(text)
 
     def insert(self, table: str, row: Any, **kwargs) -> "TID":
-        with self._statement():
+        with self._statement(f"<api> INSERT INTO {table}"):
             return self._db.insert(table, row, **kwargs)
 
     def insert_many(self, table: str, rows: Iterable[Any], **kwargs) -> list:
-        with self._statement():
+        with self._statement(f"<api> INSERT MANY INTO {table}"):
             return self._db.insert_many(table, rows, **kwargs)
 
     def update(self, table: str, tid: "TID", changes, **kwargs):
-        with self._statement():
+        with self._statement(f"<api> UPDATE {table}"):
             return self._db.update(table, tid, changes, **kwargs)
 
     def delete(self, table: str, tid: "TID", **kwargs) -> None:
-        with self._statement():
+        with self._statement(f"<api> DELETE FROM {table}"):
             self._db.delete(table, tid, **kwargs)
 
     def transaction(self) -> "_SessionTransaction":

@@ -47,7 +47,8 @@ from repro.model.ddl import parse_create_table
 from repro.model.schema import TableSchema
 from repro.model.values import TableValue, TupleValue
 from repro.names.tuple_names import TupleName, TupleNameService
-from repro.obs import METRICS, Span, TRACER
+from repro.obs import METRICS, Span, TRACER, WAITS
+from repro.obs.ash import ActiveSessionHistory
 from repro.obs.metrics import LATENCY_BUCKETS_MS
 from repro.obs.querylog import QueryLog, QueryRecord
 from repro.obs.sysviews import is_sys_table, iterate_sys_view, sys_view_schema
@@ -103,6 +104,9 @@ class Database:
         self.locks = LockManager()
         #: finished-statement ring + slow-query sink (SYS.QUERIES reads it)
         self.query_log = QueryLog()
+        #: active-session-history sampler (SYS.ASH); constructed idle —
+        #: call ``db.ash.start()`` to spawn the sampling thread
+        self.ash = ActiveSessionHistory(self)
         #: live sessions, weakly referenced (SYS.SESSIONS reads it)
         self._sessions: "weakref.WeakSet" = weakref.WeakSet()
         self._sessions_latch = threading.Lock()
@@ -812,18 +816,23 @@ class Database:
         tuple count; DDL returns the created schema / ``None``;
         ``EXPLAIN [ANALYZE]`` returns the rendered plan text."""
         parse_start = time.perf_counter()
+        WAITS.begin_statement()
         statement = parse_statement(text)
         parse_end = time.perf_counter()
         parse_ms = (parse_end - parse_start) * 1000.0
         before = METRICS.totals() if METRICS.enabled else None
         result: Any = None
         error: Optional[str] = None
+        traced = False
         try:
             if isinstance(statement, ast.ExplainStatement):
+                # ANALYZE runs the target under obs.profiled(): traced
+                traced = statement.analyze
                 result = self._execute_explain(statement, parse_ms)
-            elif not TRACER.enabled:
+            elif not TRACER.enabled and not TRACER.armed:
                 result = self._dispatch(statement)
             else:
+                traced = True
                 with TRACER.span(
                     "statement",
                     kind=type(statement).__name__,
@@ -839,8 +848,16 @@ class Database:
             error = f"{type(exc).__name__}: {exc}"
             raise
         finally:
+            trace = TRACER.thread_last_trace if traced else None
             self._record_statement(
-                text, statement, result, parse_start, before, error
+                text,
+                statement,
+                result,
+                parse_start,
+                before,
+                error,
+                waits=WAITS.take_statement(),
+                trace_id=trace.trace_id if trace is not None else None,
             )
 
     def _record_statement(
@@ -851,10 +868,14 @@ class Database:
         started: float,
         before: Optional[dict],
         error: Optional[str],
+        waits: Optional[dict] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         """Finish-line accounting for one statement: the ``SYS.QUERIES``
-        ring (always on), the slow-query sink (threshold-gated), and the
-        ``query.latency_ms`` histogram (only while metrics are enabled)."""
+        ring (always on), the slow-query sink (threshold-gated), the
+        ``query.latency_ms`` histogram (only while metrics are enabled),
+        the wait breakdown folded into the session, and the statement's
+        trace id so the query log links to ``SYS.TRACES``."""
         latency_ms = (time.perf_counter() - started) * 1000.0
         kind = _statement_kind(statement)
         tables = _statement_tables(statement)
@@ -872,6 +893,8 @@ class Database:
             ).observe(latency_ms, kind=kind, table=tables[0] if tables else "-")
         counters = METRICS.delta(before) if before is not None else {}
         session = self._session()
+        if session is not None and waits:
+            session._note_waits(waits)
         self.query_log.record(
             QueryRecord(
                 text=text.strip(),
@@ -882,6 +905,8 @@ class Database:
                 counters=counters,
                 session=session.name if session is not None else None,
                 error=error,
+                waits=waits,
+                trace_id=trace_id,
             )
         )
 
@@ -1146,7 +1171,9 @@ class Database:
             total_ms = (time.perf_counter() - start) * 1000.0
             counter_delta = METRICS.delta(before_totals)
             buffer_delta = self.io_stats.delta(before_buffer)
-            trace = TRACER.last_trace
+            # this thread's trace, not the global last (another session
+            # may have finished a statement while we were metering)
+            trace = TRACER.thread_last_trace
 
         lines: list[str] = []
         if is_query:
@@ -1220,6 +1247,16 @@ class Database:
                 f"  waits: {session._stmt_lock_waits}"
                 f"  held: {len(session.locks_held())}"
             )
+        stmt_waits = WAITS.statement_waits()
+        if stmt_waits:
+            total_wait = sum(ms for _count, ms in stmt_waits.values())
+            lines.append(f"waits: {total_wait:.3f} ms blocked")
+            for event, (count, ms) in sorted(
+                stmt_waits.items(), key=lambda kv: -kv[1][1]
+            ):
+                lines.append(f"  {event}: {ms:.3f} ms ({count} wait(s))")
+        if trace is not None:
+            lines.append(f"trace: {trace.trace_id}")
         return "\n".join(lines)
 
     def _execute_insert(self, statement: ast.InsertStatement) -> int:
@@ -1887,6 +1924,7 @@ class Database:
         self.buffer.flush_all()
 
     def close(self) -> None:
+        self.ash.stop()
         if self.wal is not None:
             try:
                 if self.wal.failure is None:

@@ -39,7 +39,16 @@ from repro.obs.metrics import (
 )
 from repro.obs.promtext import render_prometheus
 from repro.obs.querylog import QueryLog, QueryRecord, fingerprint
-from repro.obs.trace import Span, TRACER, Trace, Tracer
+from repro.obs.trace import (
+    Span,
+    TRACER,
+    Trace,
+    Tracer,
+    chrome_trace_json,
+    new_trace_id,
+    parse_trace_id,
+)
+from repro.obs.waits import WAITS, WaitRegistry, lock_event, wait_event
 
 __all__ = [
     "Counter",
@@ -54,11 +63,18 @@ __all__ = [
     "TRACER",
     "Trace",
     "Tracer",
+    "WAITS",
+    "WaitRegistry",
+    "chrome_trace_json",
     "enable",
     "disable",
     "fingerprint",
+    "lock_event",
+    "new_trace_id",
+    "parse_trace_id",
     "profiled",
     "render_prometheus",
+    "wait_event",
 ]
 
 

@@ -64,6 +64,8 @@ class QueryRecord:
         "session",
         "thread_name",
         "error",
+        "waits",
+        "trace_id",
     )
 
     def __init__(
@@ -78,6 +80,8 @@ class QueryRecord:
         thread_name: Optional[str] = None,
         error: Optional[str] = None,
         started_at: Optional[float] = None,
+        waits: Optional[dict[str, tuple[int, float]]] = None,
+        trace_id: Optional[str] = None,
     ):
         self.text = text
         self.kind = kind
@@ -92,6 +96,15 @@ class QueryRecord:
             threading.current_thread().name if thread_name is None else thread_name
         )
         self.error = error
+        #: per-statement wait breakdown {event: (count, time_ms)}
+        self.waits = dict(waits or {})
+        #: identity of the statement's retained trace, if it was traced
+        self.trace_id = trace_id
+
+    @property
+    def wait_ms(self) -> float:
+        """Total milliseconds this statement spent blocked."""
+        return sum(ms for _count, ms in self.waits.values())
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -106,6 +119,11 @@ class QueryRecord:
             "session": self.session,
             "thread": self.thread_name,
             "error": self.error,
+            "waits": {
+                event: {"count": count, "time_ms": round(ms, 4)}
+                for event, (count, ms) in sorted(self.waits.items())
+            },
+            "trace_id": self.trace_id,
         }
 
 

@@ -20,8 +20,16 @@ Views (query them like any table, e.g. ``FROM m IN SYS.METRICS``):
                           for in-memory / ``wal=False`` databases)
 ``SYS.TABLES``            the user catalog: kind, cardinality, nesting depth
 ``SYS.INDEXES``           index definitions + cost-model statistics
-``SYS.QUERIES``           the ring of recently finished statements, with a
-                          ``COUNTERS`` subtable of per-statement deltas
+``SYS.QUERIES``           the ring of recently finished statements, with
+                          ``COUNTERS`` and ``WAITS`` subtables of
+                          per-statement deltas and wait-event time
+``SYS.ASH``               the active-session-history ring: periodic samples
+                          of every session's state, statement, and current
+                          wait event, with a ``WAITS`` subtable per sample
+``SYS.TRACES``            one row per retained statement trace (tail-based
+                          retention: errors / slow / client-armed kept)
+``SYS.SPANS``             the flattened span trees of all retained traces,
+                          with parent path, depth, and an ``ATTRS`` subtable
 ========================  ====================================================
 
 The views are read-only (DML and DDL against ``SYS.*`` is rejected) and
@@ -51,6 +59,9 @@ SYS_VIEW_NAMES = (
     "TABLES",
     "INDEXES",
     "QUERIES",
+    "ASH",
+    "TRACES",
+    "SPANS",
 )
 
 
@@ -95,6 +106,14 @@ METRICS_SCHEMA = table(
     nested("BUCKETS", _BUCKETS),    # empty for counters/gauges
 )
 
+#: per-statement / per-session / per-sample wait-event breakdown
+_WAITS = table(
+    "WAITS",
+    atomic("EVENT", "STRING"),      # e.g. Lock/TableX, WAL/Fsync, IO/PageRead
+    atomic("COUNT", "INT"),
+    atomic("TIME_MS", "FLOAT"),
+)
+
 SESSIONS_SCHEMA = table(
     "SYS_SESSIONS",
     atomic("NAME", "STRING"),
@@ -104,6 +123,7 @@ SESSIONS_SCHEMA = table(
     atomic("LOCK_TIMEOUT", "FLOAT"),
     atomic("LAST_LOCK_REQUESTS", "INT"),
     atomic("LAST_LOCK_WAITS", "INT"),
+    nested("WAITS", _WAITS),        # lifetime wait totals for the session
 )
 
 LOCKS_SCHEMA = table(
@@ -174,9 +194,57 @@ QUERIES_SCHEMA = table(
     atomic("TUPLES", "INT"),        # result rows / affected count
     nested("TABLES", _QUERY_TABLES),
     nested("COUNTERS", _QUERY_COUNTERS),
+    nested("WAITS", _WAITS),        # wait-event time during this statement
+    atomic("WAIT_MS", "FLOAT"),     # total blocked time (sum of WAITS)
     atomic("SESSION", "STRING"),
     atomic("THREAD", "STRING"),
     atomic("ERROR", "STRING"),
+    atomic("TRACE_ID", "STRING"),   # resolves into SYS.TRACES / SYS.SPANS
+)
+
+ASH_SCHEMA = table(
+    "SYS_ASH",
+    atomic("SEQ", "INT"),           # monotonically increasing sample number
+    atomic("SAMPLED_AT", "FLOAT"),  # epoch seconds
+    atomic("SESSION", "STRING"),
+    atomic("THREAD", "STRING"),
+    atomic("STATE", "STRING"),      # running | waiting | idle
+    atomic("STATEMENT", "STRING"),
+    atomic("FINGERPRINT", "STRING"),
+    atomic("WAIT_EVENT", "STRING"), # the wait in progress at sample time
+    atomic("WAIT_MS", "FLOAT"),     # how long it had been waiting
+    nested("WAITS", _WAITS),        # statement's accumulated waits so far
+)
+
+TRACES_SCHEMA = table(
+    "SYS_TRACES",
+    atomic("TRACE_ID", "STRING"),
+    atomic("NAME", "STRING"),       # root span name (usually "statement")
+    atomic("KIND", "STRING"),       # root span's kind attribute, if any
+    atomic("STATEMENT", "STRING"),  # root span's text attribute, if any
+    atomic("SESSION", "STRING"),
+    atomic("THREAD", "STRING"),
+    atomic("STARTED_AT", "FLOAT"),  # epoch seconds
+    atomic("DURATION_MS", "FLOAT"),
+    atomic("SPAN_COUNT", "INT"),
+    atomic("ERROR", "STRING"),
+    atomic("PINNED", "BOOL"),       # client-armed: never evicted
+)
+
+_SPAN_ATTRS = table(
+    "ATTRS", atomic("NAME", "STRING"), atomic("VALUE", "STRING")
+)
+
+SPANS_SCHEMA = table(
+    "SYS_SPANS",
+    atomic("TRACE_ID", "STRING"),
+    atomic("NAME", "STRING"),
+    atomic("PATH", "STRING"),       # slash-joined ancestor names
+    atomic("DEPTH", "INT"),         # root = 0
+    atomic("START_MS", "FLOAT"),    # offset from the trace's root span
+    atomic("DURATION_MS", "FLOAT"),
+    atomic("WAIT", "BOOL"),         # True for retroactive wait-event spans
+    nested("ATTRS", _SPAN_ATTRS),
 )
 
 _SCHEMAS: dict[str, TableSchema] = {
@@ -187,6 +255,9 @@ _SCHEMAS: dict[str, TableSchema] = {
     "TABLES": TABLES_SCHEMA,
     "INDEXES": INDEXES_SCHEMA,
     "QUERIES": QUERIES_SCHEMA,
+    "ASH": ASH_SCHEMA,
+    "TRACES": TRACES_SCHEMA,
+    "SPANS": SPANS_SCHEMA,
 }
 
 
@@ -275,8 +346,19 @@ def _metric_rows(db: "Database") -> Iterator[dict]:
             }
 
 
+def _wait_subrows(waits: dict) -> list[dict]:
+    """``{event: (count, ms)}`` → WAITS subtable rows, slowest first."""
+    return [
+        {"EVENT": event, "COUNT": count, "TIME_MS": _float(ms)}
+        for event, (count, ms) in sorted(
+            waits.items(), key=lambda item: -item[1][1]
+        )
+    ]
+
+
 def _session_rows(db: "Database") -> Iterator[dict]:
     for session in db.active_sessions():
+        summary = getattr(session, "wait_summary", dict)()
         yield {
             "NAME": session.name,
             "THREAD": getattr(session, "thread_name", None),
@@ -285,6 +367,7 @@ def _session_rows(db: "Database") -> Iterator[dict]:
             "LOCK_TIMEOUT": _float(session.lock_timeout),
             "LAST_LOCK_REQUESTS": session.last_lock_requests,
             "LAST_LOCK_WAITS": session.last_lock_waits,
+            "WAITS": _wait_subrows(summary),
         }
 
 
@@ -381,10 +464,69 @@ def _query_rows(db: "Database") -> Iterator[dict]:
                 {"NAME": name, "DELTA": _float(delta)}
                 for name, delta in sorted(record.counters.items())
             ],
+            "WAITS": _wait_subrows(record.waits),
+            "WAIT_MS": _float(record.wait_ms),
             "SESSION": record.session,
             "THREAD": record.thread_name,
             "ERROR": record.error,
+            "TRACE_ID": record.trace_id,
         }
+
+
+def _ash_rows(db: "Database") -> Iterator[dict]:
+    for sample in db.ash.tail():
+        yield {
+            "SEQ": sample.seq,
+            "SAMPLED_AT": sample.sampled_at,
+            "SESSION": sample.session,
+            "THREAD": sample.thread_name,
+            "STATE": sample.state,
+            "STATEMENT": sample.statement,
+            "FINGERPRINT": sample.fingerprint,
+            "WAIT_EVENT": sample.wait_event,
+            "WAIT_MS": _float(sample.wait_ms),
+            "WAITS": _wait_subrows(sample.waits),
+        }
+
+
+def _trace_rows(db: "Database") -> Iterator[dict]:
+    from .trace import TRACER
+
+    for trace in list(TRACER.traces):
+        yield {
+            "TRACE_ID": trace.trace_id,
+            "NAME": trace.name,
+            "KIND": trace.root.attrs.get("kind"),
+            "STATEMENT": trace.root.attrs.get("text"),
+            "SESSION": trace.session,
+            "THREAD": trace.thread_name,
+            "STARTED_AT": trace.started_at,
+            "DURATION_MS": _float(trace.duration_ms),
+            "SPAN_COUNT": sum(1 for _ in trace.root.walk()),
+            "ERROR": trace.error,
+            "PINNED": trace.pinned,
+        }
+
+
+def _span_rows(db: "Database") -> Iterator[dict]:
+    from .trace import TRACER
+
+    for trace in list(TRACER.traces):
+        origin = trace.root.start
+        for span, depth, path in trace.root.walk():
+            yield {
+                "TRACE_ID": trace.trace_id,
+                "NAME": span.name,
+                "PATH": path,
+                "DEPTH": depth,
+                "START_MS": round((span.start - origin) * 1000.0, 4),
+                "DURATION_MS": _float(span.duration_ms),
+                "WAIT": bool(span.attrs.get("wait", False)),
+                "ATTRS": [
+                    {"NAME": str(k), "VALUE": str(v)}
+                    for k, v in sorted(span.attrs.items())
+                ],
+            }
 
 
 _PRODUCERS = {
@@ -395,4 +537,7 @@ _PRODUCERS = {
     "TABLES": _table_rows,
     "INDEXES": _index_rows,
     "QUERIES": _query_rows,
+    "ASH": _ash_rows,
+    "TRACES": _trace_rows,
+    "SPANS": _span_rows,
 }

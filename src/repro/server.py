@@ -23,6 +23,14 @@ Wire protocol (text, UTF-8, newline-framed — telnet/netcat friendly):
   (``printf 'METRICS\\n' | nc host port`` works like a ``curl`` against
   ``/metrics``); ``SYS.*`` tables offer the same data as queryable NF²
   relations.
+* ``TRACE <id>`` arms a client-supplied trace id (a bare token or a W3C
+  ``traceparent`` header) for this connection's **next** statement: that
+  statement is traced even when tracing is globally off, its trace is
+  pinned in the retention buffer, and ``SYS.TRACES`` / ``SYS.SPANS`` /
+  ``TRACE EXPORT <id>`` resolve the id back to the span tree.
+* ``TRACE EXPORT [id]`` returns the retained trace(s) as one line of
+  Chrome ``trace_event`` JSON (all retained traces when *id* is omitted)
+  — pipe it into a file and open it in Perfetto.
 * The server answers with a header line ``#<n>`` followed by exactly
   *n* payload lines — the same text the shell would have printed.
   Errors are payload lines starting with ``error:``; the connection
@@ -88,6 +96,38 @@ class _Connection(socketserver.StreamRequestHandler):
                     from repro.obs import METRICS
 
                     out.write(METRICS.to_prometheus())
+                elif upper == "TRACE EXPORT" or upper.startswith("TRACE EXPORT "):
+                    from repro.obs import TRACER, chrome_trace_json
+
+                    from repro.obs import parse_trace_id
+
+                    wanted = line[len("TRACE EXPORT"):].strip()
+                    if wanted:
+                        try:
+                            wanted = parse_trace_id(wanted)
+                        except ValueError:
+                            pass  # fall through: lookup simply misses
+                        trace = TRACER.get(wanted)
+                        selected = [trace] if trace is not None else []
+                    else:
+                        selected = list(TRACER.traces)
+                    if not selected:
+                        print(
+                            f"error: no retained trace"
+                            + (f" {wanted!r}" if wanted else "s"),
+                            file=out,
+                        )
+                    else:
+                        print(chrome_trace_json(selected), file=out)
+                elif upper.startswith("TRACE "):
+                    # arm a trace id for this connection's next statement
+                    from repro.obs import TRACER
+
+                    try:
+                        armed = TRACER.arm_trace_id(line[len("TRACE "):])
+                        print(f"trace armed {armed}", file=out)
+                    except ValueError as exc:
+                        print(f"error: {exc}", file=out)
                 elif upper == "BEGIN":
                     if txn is not None:
                         print("error: transaction already open", file=out)

@@ -17,6 +17,11 @@ dot-commands::
     .slowlog [MS [FILE]] show/set the slow-query threshold + sink
     .profile on|off      enable/disable observability (metrics + tracing)
     .trace FILE          export the last statement trace (Chrome format)
+    .trace export FILE [ID]
+                         export every retained trace (or just trace ID)
+                         into one Chrome file, one lane per thread
+    .ash [on|off|N]      active-session-history sampler: start/stop it,
+                         or print the last N samples (default 10)
     .storage             per-table storage report (pages, fill, MD/data)
     .verify              consistency check (CHECK TABLE)
     .save                persist (disk-backed databases)
@@ -196,8 +201,29 @@ def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
             state = "on" if obs.METRICS.enabled else "off"
             print(f"usage: .profile on|off (currently {state})", file=out)
     elif command == ".trace":
-        if len(parts) < 2:
-            print("usage: .trace FILE", file=out)
+        if len(parts) > 1 and parts[1].lower() == "export":
+            if len(parts) < 3:
+                print("usage: .trace export FILE [TRACE_ID]", file=out)
+            else:
+                selected = None
+                if len(parts) > 3:
+                    trace = obs.TRACER.get(parts[3].lower())
+                    if trace is None:
+                        print(f"error: no retained trace {parts[3]!r}", file=out)
+                        return True
+                    selected = [trace]
+                try:
+                    count = obs.TRACER.export_chrome_many(parts[2], selected)
+                except ValueError as exc:
+                    print(f"error: {exc}", file=out)
+                else:
+                    print(
+                        f"wrote {count} trace{'s' if count != 1 else ''} to "
+                        f"{parts[2]} (load it in https://ui.perfetto.dev)",
+                        file=out,
+                    )
+        elif len(parts) < 2:
+            print("usage: .trace FILE | .trace export FILE [TRACE_ID]", file=out)
         elif obs.TRACER.last_trace is None:
             print(
                 "no finished trace — run a statement with .profile on first",
@@ -210,6 +236,44 @@ def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
                 "https://ui.perfetto.dev)",
                 file=out,
             )
+    elif command == ".ash":
+        arg = parts[1].lower() if len(parts) > 1 else None
+        if arg == "on":
+            db.ash.start()
+            print(
+                f"ash sampler on (period {db.ash.period_ms:g} ms, "
+                f"keep {db.ash.samples.maxlen})",
+                file=out,
+            )
+        elif arg == "off":
+            db.ash.stop()
+            print(f"ash sampler off ({db.ash.ticks} ticks taken)", file=out)
+        else:
+            try:
+                n = int(arg) if arg is not None else 10
+            except ValueError:
+                print("usage: .ash [on|off|N]", file=out)
+                n = None
+            if n is not None:
+                samples = db.ash.tail(n)
+                if not samples:
+                    print(
+                        "  no samples — .ash on starts the sampler "
+                        "(needs active sessions)",
+                        file=out,
+                    )
+                for sample in samples:
+                    wait = (
+                        f"  waiting {sample.wait_event} {sample.wait_ms:.1f} ms"
+                        if sample.wait_event
+                        else ""
+                    )
+                    stmt = (sample.statement or "-")[:60]
+                    print(
+                        f"  [{sample.seq}] {sample.session or '-'} "
+                        f"{sample.state:<8} {stmt}{wait}",
+                        file=out,
+                    )
     elif command == ".storage":
         report = db.storage_report()
         print(f"  total pages: {report['total_pages']}", file=out)

@@ -16,7 +16,7 @@ from typing import Iterator, Optional
 
 from repro.concurrency.locks import Latch
 from repro.errors import BufferError_, TornPageError
-from repro.obs import METRICS
+from repro.obs import METRICS, WAITS
 from repro.storage.constants import PAGE_SIZE
 from repro.storage.page import (
     Page,
@@ -313,6 +313,9 @@ class BufferManager:
                 )
             frame = self._frames.pop(victim)
             if frame.dirty:
-                self._write_frame(frame)
+                # making room by flushing someone else's dirty page is a
+                # classic hidden stall — attribute it
+                with WAITS.wait("Buffer/DirtyEvict", page=victim):
+                    self._write_frame(frame)
             self.stats.evictions += 1
             METRICS.inc("buffer.evictions")

@@ -12,6 +12,7 @@ import threading
 from typing import Optional
 
 from repro.errors import SegmentError, StorageError
+from repro.obs.waits import WAITS
 from repro.storage.constants import PAGE_SIZE
 
 
@@ -94,10 +95,16 @@ class DiskPagedFile(PagedFile):
         self._latch = threading.RLock()
 
     def read_page(self, page_no: int) -> bytearray:
-        with self._latch:
-            self._check(page_no)
-            self._file.seek(page_no * PAGE_SIZE)
-            data = self._file.read(PAGE_SIZE)
+        # real device I/O is a wait event: the in-memory backend stays
+        # uninstrumented, this one attributes its seek+read time
+        token = WAITS.enter("IO/PageRead", page=page_no)
+        try:
+            with self._latch:
+                self._check(page_no)
+                self._file.seek(page_no * PAGE_SIZE)
+                data = self._file.read(PAGE_SIZE)
+        finally:
+            WAITS.exit(token)
         if len(data) != PAGE_SIZE:
             raise StorageError(f"short read on page {page_no}")
         return bytearray(data)
@@ -105,10 +112,14 @@ class DiskPagedFile(PagedFile):
     def write_page(self, page_no: int, data: bytes) -> None:
         if len(data) != PAGE_SIZE:
             raise StorageError("page write must be exactly one page")
-        with self._latch:
-            self._check(page_no)
-            self._file.seek(page_no * PAGE_SIZE)
-            self._file.write(data)
+        token = WAITS.enter("IO/PageWrite", page=page_no)
+        try:
+            with self._latch:
+                self._check(page_no)
+                self._file.seek(page_no * PAGE_SIZE)
+                self._file.write(data)
+        finally:
+            WAITS.exit(token)
 
     def allocate_page(self) -> int:
         with self._latch:

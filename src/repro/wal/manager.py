@@ -32,7 +32,7 @@ import threading
 from typing import Any, Callable, Optional
 
 from repro.errors import WalError
-from repro.obs import METRICS
+from repro.obs import METRICS, WAITS
 from repro.wal.record import (
     REC_ABORT,
     REC_BEGIN,
@@ -227,7 +227,8 @@ class WalManager:
         with self._latch:
             if not self._pending_sync:
                 return
-            self._io.fsync()
+            with WAITS.wait("WAL/Fsync"):
+                self._io.fsync()
             self._pending_sync = False
             self.fsyncs += 1
         if METRICS.enabled:
@@ -256,7 +257,8 @@ class WalManager:
         payload = encode_catalog(catalog_state)
         record = encode_record(0, 0, REC_CHECKPOINT, 0, payload)
         with self._latch:
-            self._io.reset_with(record)
+            with WAITS.wait("WAL/Checkpoint"):
+                self._io.reset_with(record)
             self._prev_lsn = 0
             self._dirty.clear()
             self._pending_sync = False
