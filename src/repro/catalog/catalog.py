@@ -31,6 +31,7 @@ from repro.temporal.versions import VersionStore
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from repro.mvcc.store import MvccStore
     from repro.temporal.subtuple_versions import TemporalObjectManager
 
 AnyIndex = Union[FlatIndex, NF2Index, TextIndex]
@@ -56,6 +57,13 @@ class TableEntry:
     #: root TID -> version-store object id (object-versioned tables)
     object_ids: dict[TID, int] = field(default_factory=dict)
     indexes: dict[str, AnyIndex] = field(default_factory=dict)
+    #: MVCC version metadata (populated when the database runs with
+    #: ``mvcc=True``; None under plain 2PL)
+    mvcc: Optional["MvccStore"] = None
+    #: axis of explicit temporal write stamps ("date"/"logical"); tracked
+    #: at the entry level for subtuple-versioned tables, whose manager
+    #: keeps no cross-restart state of its own
+    timestamp_axis: Optional[str] = None
 
     @property
     def is_flat(self) -> bool:

@@ -69,6 +69,11 @@ class Session:
         #: transaction) is open
         self._txn: Optional[int] = None
         self._explicit: Optional["_SessionTransaction"] = None
+        #: the MVCC snapshot this session's statements read from (None:
+        #: 2PL database, or between statements).  Statement-scoped in
+        #: autocommit; pinned for the whole scope of
+        #: ``transaction(isolation="snapshot")``.
+        self._snapshot = None
         self._closed = False
         # per-statement lock accounting (read by EXPLAIN ANALYZE)
         self._stmt_lock_requests = 0
@@ -125,6 +130,18 @@ class Session:
         autocommit = self._txn is None
         if autocommit:
             self._txn = self._db.locks.begin(self.name)
+        snapshot = None
+        if self._db.mvcc is not None and self._snapshot is None:
+            # read-committed statement snapshot: this statement sees every
+            # commit up to now, and nothing that commits while it runs.
+            # (Inside transaction(isolation="snapshot") the pinned
+            # snapshot is already installed and kept instead.)
+            snapshot = self._db.mvcc.acquire(session=self.name)
+            if self._explicit is not None and self._explicit._db_txn is not None:
+                # mid-transaction statement: tag the snapshot with the
+                # open write scope so it reads the txn's own pending work
+                snapshot.txn = self._db.mvcc.current_txn()
+            self._snapshot = snapshot
         self._stmt_lock_requests = 0
         self._stmt_lock_waits = 0
         self.thread_name = threading.current_thread().name
@@ -152,6 +169,10 @@ class Session:
             leftover = WAITS.take_statement()
             if leftover:
                 self._note_waits(leftover)
+            if snapshot is not None:
+                self._db.mvcc.release(snapshot)
+                if self._snapshot is snapshot:
+                    self._snapshot = None
             if autocommit and self._txn is not None:
                 self._db.locks.release_all(self._txn)
                 self._txn = None
@@ -197,6 +218,12 @@ class Session:
         explicit session transaction, lazily enters the engine's
         single-user transaction scope."""
         self.lock(WAL_RESOURCE, LockMode.X)
+        if self._snapshot is not None and self._db.mvcc is not None:
+            # a commit may have landed between statement start and token
+            # grant — a read-committed write must see it.  Pinned
+            # (snapshot-isolation) snapshots stay put and rely on
+            # first-committer-wins conflict detection instead.
+            self._db.mvcc.refresh(self._snapshot)
         tx = self._explicit
         if tx is not None:
             tx.ensure_db_transaction()
@@ -228,15 +255,41 @@ class Session:
         with self._statement(f"<api> DELETE FROM {table}"):
             self._db.delete(table, tid, **kwargs)
 
-    def transaction(self) -> "_SessionTransaction":
-        """A multi-statement scope with strict two-phase locking::
+    def transaction(
+        self, isolation: Optional[str] = None
+    ) -> "_SessionTransaction":
+        """A multi-statement atomic scope::
 
             with session.transaction():
                 session.execute("UPDATE ...")
                 session.execute("DELETE ...")  # atomically, under locks
+
+        *isolation* picks the concurrency protocol:
+
+        * ``"2pl"`` — strict two-phase locking (the only choice on a
+          non-MVCC database);
+        * ``"snapshot"`` — snapshot isolation (MVCC databases): every
+          read in the scope sees the one snapshot taken at entry, and a
+          write to a row version committed after that snapshot raises
+          :class:`~repro.errors.SerializationError`
+          (first-committer-wins);
+        * ``None`` (default) — ``"snapshot"`` when the database runs
+          MVCC, else ``"2pl"``.
         """
         self._check_open()
-        return _SessionTransaction(self)
+        if isolation not in (None, "2pl", "snapshot"):
+            raise ExecutionError(
+                f"unknown isolation level {isolation!r}; "
+                "expected '2pl' or 'snapshot'"
+            )
+        if isolation == "snapshot" and self._db.mvcc is None:
+            raise ExecutionError(
+                "isolation='snapshot' needs an MVCC database — open it "
+                "with Database(mvcc=True)"
+            )
+        if isolation is None:
+            isolation = "snapshot" if self._db.mvcc is not None else "2pl"
+        return _SessionTransaction(self, isolation=isolation)
 
     @property
     def in_transaction(self) -> bool:
@@ -286,9 +339,11 @@ class _SessionTransaction:
     without fighting over the engine's single transaction slot (writers
     serialize on the WAL token before entering it)."""
 
-    def __init__(self, session: Session):
+    def __init__(self, session: Session, isolation: str = "2pl"):
         self._session = session
+        self.isolation = isolation
         self._db_txn = None  # the engine's _Transaction, once entered
+        self._pinned = None  # the scope's pinned MVCC snapshot, if any
         self.aborted = False
         self._entered = False
 
@@ -310,6 +365,7 @@ class _SessionTransaction:
             return
         self.aborted = True
         session = self._session
+        self._release_pinned()
         if self._db_txn is not None:
             exc = ConcurrencyError("transaction aborted")
             try:
@@ -328,9 +384,25 @@ class _SessionTransaction:
                 f"session {session.name!r} already has an active transaction"
             )
         session._txn = session._db.locks.begin(session.name)
+        if self.isolation == "snapshot":
+            # one snapshot for the whole scope, registered so version GC
+            # keeps everything it can see until the scope ends
+            self._pinned = session._db.mvcc.acquire(
+                pinned=True, isolation="snapshot", session=session.name
+            )
+            session._snapshot = self._pinned
         session._explicit = self
         self._entered = True
         return self
+
+    def _release_pinned(self) -> None:
+        if self._pinned is None:
+            return
+        session = self._session
+        session._db.mvcc.release(self._pinned)
+        if session._snapshot is self._pinned:
+            session._snapshot = None
+        self._pinned = None
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         session = self._session
@@ -370,6 +442,7 @@ class _SessionTransaction:
             return False
         finally:
             session._explicit = None
+            self._release_pinned()
             if session._txn is not None:
                 session._db.locks.release_all(session._txn)
                 session._txn = None

@@ -36,6 +36,7 @@ from repro.errors import (
     DataError,
     ExecutionError,
     QueryError,
+    SerializationError,
     StorageError as StorageError_,
     TemporalError,
     UnknownTableError,
@@ -43,6 +44,10 @@ from repro.errors import (
 from repro.index.addresses import AddressingMode
 from repro.index.manager import FlatIndex, IndexDefinition, NF2Index
 from repro.index.text import TextIndex
+from repro.mvcc import gc as _mvcc_gc
+from repro.mvcc import read as _mvcc_read
+from repro.mvcc.snapshot import AXIS_TIME, MvccManager, Snapshot
+from repro.mvcc.store import MvccStore
 from repro.model.ddl import parse_create_table
 from repro.model.schema import TableSchema
 from repro.model.values import TableValue, TupleValue
@@ -68,7 +73,12 @@ from repro.storage.minidirectory import StorageStructure
 from repro.storage.pagedfile import DiskPagedFile, MemoryPagedFile
 from repro.storage.segment import Segment
 from repro.storage.tid import TID
-from repro.temporal.versions import Timestamp, VersionStore
+from repro.temporal.versions import (
+    Timestamp,
+    VersionStore,
+    canonical_timestamp,
+    timestamp_axis,
+)
 
 
 class Database:
@@ -92,6 +102,7 @@ class Database:
         page_checksums: bool = True,
         pagedfile=None,
         wal_io=None,
+        mvcc: bool = False,
     ):
         self._path = path
         #: thread-local engine state: per-thread executor + last_plan (so
@@ -144,6 +155,12 @@ class Database:
         self._clock = 0.0
         #: active transaction (single-user: at most one)
         self._active_txn: Optional["_Transaction"] = None
+        #: MVCC manager (``mvcc=True``): statements of concurrent sessions
+        #: read from commit-LSN snapshots without S-locking anything, and
+        #: ``session.transaction(isolation="snapshot")`` runs under
+        #: snapshot isolation with first-committer-wins conflicts.  None:
+        #: the original strict-2PL behaviour.  See docs/CONCURRENCY.md.
+        self.mvcc: Optional[MvccManager] = MvccManager() if mvcc else None
         recovered_state = (
             self.last_recovery.catalog_state
             if self.last_recovery is not None
@@ -292,11 +309,35 @@ class Database:
         if session is not None:
             session._before_write()
         with self._write_latch:
-            yield from self._wal_scope_inner()
+            if self.mvcc is not None:
+                yield from self._mvcc_wal_scope(session)
+            else:
+                yield from self._wal_scope_inner()
 
-    def _wal_scope_inner(self):
+    def _mvcc_wal_scope(self, session):
+        """MVCC bracket around one write scope: versions created inside it
+        stay pending (invisible to other snapshots, visible to the writer
+        through its snapshot's txn tag) until the depth-0 ``end_scope``
+        stamps them with the next commit sequence number.  Opportunistic
+        version GC rides on the outermost scope, inside the WAL
+        transaction so its page mutations are logged."""
+        manager = self.mvcc
+        snapshot = session._snapshot if session is not None else None
+        manager.begin_scope(snapshot)
+        outermost = manager.scope_depth() == 1
+        try:
+            on_begin = (lambda: _mvcc_gc.collect(self)) if outermost else None
+            yield from self._wal_scope_inner(on_begin=on_begin)
+        finally:
+            manager.end_scope(
+                self.wal.last_commit_lsn if self.wal is not None else None
+            )
+
+    def _wal_scope_inner(self, on_begin=None):
         wal = self.wal
         if wal is None:
+            if on_begin is not None:
+                on_begin()
             yield
             return
         if wal.failure is not None:
@@ -308,6 +349,8 @@ class Database:
             yield
             return
         wal.begin()
+        if on_begin is not None:
+            on_begin()
         try:
             yield
         except BaseException:
@@ -411,8 +454,21 @@ class Database:
             entry.manager = ComplexObjectManager(segment, self.structure)
         if versioned and versioning == "object":
             entry.version_store = VersionStore()
+        self._bootstrap_mvcc(entry)
         self.catalog.add_table(entry)
         return schema
+
+    def _bootstrap_mvcc(self, entry: TableEntry) -> None:
+        """Attach an MVCC store to *entry* and seed its current rows as
+        committed-since-0.  Subtuple-versioned tables are excluded: their
+        manager mutates version chains in place, so there is no stable
+        per-version root TID to hang visibility on (they stay under 2PL
+        even when ``mvcc=True``)."""
+        if self.mvcc is None or entry.temporal_manager is not None:
+            return
+        store = MvccStore(self.mvcc, entry)
+        store.bootstrap(iter(entry.tids))
+        entry.mvcc = store
 
     @staticmethod
     def _reject_sys_write(name: str) -> None:
@@ -425,7 +481,9 @@ class Database:
         self._reject_sys_write(name)
         self._lock_table(name, LockMode.X)
         with self._wal_scope():
-            self.catalog.drop_table(name)
+            entry = self.catalog.drop_table(name)
+            if self.mvcc is not None and entry.mvcc is not None:
+                self.mvcc.forget_table(entry.mvcc)
 
     def create_index(
         self,
@@ -548,6 +606,11 @@ class Database:
             rows = [self._fetch(entry, tid).to_plain() for tid in entry.tids]
             for tid in list(entry.tids):
                 self.delete(table, tid)
+            if entry.mvcc is not None:
+                # the retained version history was stored under the old
+                # schema and can no longer be decoded — release it now,
+                # while the old schema is still installed
+                self._purge_mvcc_history(entry)
             entry.schema = new_schema
             if entry.is_flat:
                 entry.heap.schema = new_schema  # type: ignore[union-attr]
@@ -651,6 +714,7 @@ class Database:
         self, entry: TableEntry, value: TupleValue, at: Optional[Timestamp]
     ) -> TID:
         if entry.temporal_manager is not None:
+            self._note_temporal_axis(entry, at)
             tid = entry.temporal_manager.store(
                 entry.schema, value, self._next_timestamp(at)
             )
@@ -666,6 +730,7 @@ class Database:
             tid = entry.manager.store(entry.schema, value)  # type: ignore[union-attr]
             self._index_object(entry, tid)
         entry.tids.append(tid)
+        self._note_mvcc_insert(entry, tid)
         if entry.version_store is not None:
             object_id = entry.version_store.record_insert(tid, at=at)
             entry.object_ids[tid] = object_id
@@ -676,24 +741,29 @@ class Database:
         self._reject_sys_write(table)
         entry = self.catalog.table(table)
         if tid not in entry.tids:
-            raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
+            raise self._missing_tuple(entry, tid)
         self._begin_write(entry)
         self._lock_object(table, tid, LockMode.X)  # may wait; recheck below
         if tid not in entry.tids:
-            raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
+            raise self._missing_tuple(entry, tid)
+        self._check_snapshot_conflict(entry, tid)
         with self._wal_scope():
-            self._deindex(entry, tid)
+            self._deindex_on_write(entry, tid)
             entry.tids.remove(tid)
             if entry.temporal_manager is not None:
+                self._note_temporal_axis(entry, at)
                 entry.temporal_manager.delete_object(
                     tid, entry.schema, self._next_timestamp(at)
                 )
                 entry.history_tids.append(tid)
                 return
+            self._note_mvcc_delete(entry, tid)
             if entry.version_store is not None:
                 object_id = entry.object_ids.pop(tid)
                 entry.version_store.record_delete(object_id, at=at)
                 return  # history keeps the stored bytes
+            if entry.mvcc is not None:
+                return  # snapshot readers may still need the bytes; GC frees them
             if entry.is_flat:
                 entry.heap.delete(tid)  # type: ignore[union-attr]
             else:
@@ -716,13 +786,15 @@ class Database:
         self._reject_sys_write(table)
         entry = self.catalog.table(table)
         if tid not in entry.tids:
-            raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
+            raise self._missing_tuple(entry, tid)
         self._begin_write(entry)
         self._lock_object(table, tid, LockMode.X)  # may wait; recheck below
         if tid not in entry.tids:
-            raise ExecutionError(f"{tid} is not a current tuple of {table!r}")
+            raise self._missing_tuple(entry, tid)
+        self._check_snapshot_conflict(entry, tid)
         with self._wal_scope():
             if entry.temporal_manager is not None:
+                self._note_temporal_axis(entry, at)
                 when = self._next_timestamp(at)
                 if isinstance(changes, dict):
                     entry.temporal_manager.update_atoms(
@@ -732,8 +804,8 @@ class Database:
                     changes(entry.temporal_manager.mutator(tid, entry.schema, when))
                 self._index_object(entry, tid)
                 return tid
-            if entry.version_store is not None:
-                return self._update_versioned(entry, tid, changes, at)
+            if entry.version_store is not None or entry.mvcc is not None:
+                return self._update_cow(entry, tid, changes, at)
             if entry.is_flat:
                 if not isinstance(changes, dict):
                     raise ExecutionError("flat tables take a mapping of changes")
@@ -751,14 +823,16 @@ class Database:
             self._index_object(entry, tid)
             return tid
 
-    def _update_versioned(
+    def _update_cow(
         self,
         entry: TableEntry,
         tid: TID,
         changes: Union[dict, Callable[[OpenObject], None]],
         at: Optional[Timestamp],
     ) -> TID:
-        """Copy-on-write: the old version's bytes stay as history."""
+        """Copy-on-write update: the old version's bytes stay in place —
+        as temporal history (versioned tables), for concurrent snapshot
+        readers (MVCC tables), or both."""
         current = self._fetch(entry, tid)
         if isinstance(changes, dict):
             new_value = current.replace(**changes)
@@ -779,13 +853,117 @@ class Database:
         else:
             new_tid = entry.manager.store(entry.schema, new_value)  # type: ignore[union-attr]
             self._index_object(entry, new_tid)
-        self._deindex(entry, tid)
+        self._deindex_on_write(entry, tid)
         position = entry.tids.index(tid)
         entry.tids[position] = new_tid
-        object_id = entry.object_ids.pop(tid)
-        entry.object_ids[new_tid] = object_id
-        entry.version_store.record_update(object_id, new_tid, at=at)  # type: ignore[union-attr]
+        self._note_mvcc_delete(entry, tid)
+        self._note_mvcc_insert(entry, new_tid)
+        if entry.version_store is not None:
+            object_id = entry.object_ids.pop(tid)
+            entry.object_ids[new_tid] = object_id
+            entry.version_store.record_update(object_id, new_tid, at=at)
         return new_tid
+
+    # -- MVCC bookkeeping on the write path ---------------------------------------
+
+    def _note_mvcc_insert(self, entry: TableEntry, tid: TID) -> None:
+        if entry.mvcc is not None:
+            entry.mvcc.note_insert(tid, self.mvcc.current_txn())  # type: ignore[union-attr, arg-type]
+
+    def _note_mvcc_delete(self, entry: TableEntry, tid: TID) -> None:
+        if entry.mvcc is not None:
+            entry.mvcc.note_delete(tid, self.mvcc.current_txn())  # type: ignore[union-attr, arg-type]
+
+    def _write_snapshot(self, entry: TableEntry):
+        """The snapshot the current session's *write* runs under, or None
+        (2PL mode, an untracked table, or no session)."""
+        if self.mvcc is None or entry.mvcc is None:
+            return None
+        session = self._session()
+        return session._snapshot if session is not None else None
+
+    def _check_snapshot_conflict(self, entry: TableEntry, tid: TID) -> None:
+        """First-committer-wins: a pinned (snapshot-isolation) transaction
+        may not overwrite a row version committed after its snapshot
+        point."""
+        snapshot = self._write_snapshot(entry)
+        if snapshot is None or not snapshot.pinned:
+            return
+        if entry.mvcc.committed_after(tid, snapshot.point):  # type: ignore[union-attr]
+            METRICS.inc("mvcc.conflicts")
+            raise SerializationError(
+                f"snapshot transaction lost a write conflict on {tid} of "
+                f"{entry.name!r}: the row was modified by a transaction "
+                "that committed after this snapshot was taken"
+            )
+
+    def _missing_tuple(self, entry: TableEntry, tid: TID) -> Exception:
+        """The error for writing a TID that is not current: under a pinned
+        snapshot that still *sees* the row, the row was deleted or
+        superseded by a later commit — a serialization conflict, not a
+        user mistake."""
+        snapshot = self._write_snapshot(entry)
+        if (
+            snapshot is not None
+            and snapshot.pinned
+            and entry.mvcc.get(tid) is not None  # type: ignore[union-attr]
+        ):
+            METRICS.inc("mvcc.conflicts")
+            return SerializationError(
+                f"snapshot transaction lost a write conflict on {tid} of "
+                f"{entry.name!r}: the row this snapshot sees was deleted "
+                "or superseded by a transaction that committed after the "
+                "snapshot was taken"
+            )
+        return ExecutionError(f"{tid} is not a current tuple of {entry.name!r}")
+
+    def _note_temporal_axis(self, entry: TableEntry, at: Optional[Timestamp]) -> None:
+        """Entry-level timestamp-axis guard for subtuple-versioned tables
+        (their manager keeps no cross-restart state of its own; object
+        versioning has the same check inside ``VersionStore._stamp``)."""
+        if at is None:
+            return
+        axis = timestamp_axis(at)
+        if entry.timestamp_axis is None:
+            entry.timestamp_axis = axis
+        elif entry.timestamp_axis != axis:
+            raise TemporalError(
+                f"cannot stamp a {axis} timestamp {at!r} on table "
+                f"{entry.name!r} whose versions use {entry.timestamp_axis} "
+                "timestamps: the two axes are not comparable and versions "
+                "would be silently mis-ordered"
+            )
+
+    def _mvcc_reclaim(self, entry: TableEntry, tid: TID) -> None:
+        """Physically release one dead version (called from GC once no
+        snapshot can reach it): drop its deferred index entries and —
+        unless a temporal VersionStore still needs the bytes as ASOF
+        history — delete the stored record."""
+        self._deindex(entry, tid)
+        if entry.version_store is not None:
+            return  # ASOF still reaches the bytes through the version chain
+        if entry.is_flat:
+            entry.heap.delete(tid)  # type: ignore[union-attr]
+        else:
+            entry.manager.delete(tid, entry.schema)  # type: ignore[union-attr]
+
+    def _purge_mvcc_history(self, entry: TableEntry) -> None:
+        """Drop every retained version of *entry* immediately (table
+        rewrite under its exclusive lock): snapshot isolation is not
+        maintained across DDL."""
+        store = entry.mvcc
+        assert store is not None and self.mvcc is not None
+        self.mvcc.forget_table(store)
+        for tid in store.live_tids():
+            if tid in entry.tids:
+                continue  # still current — the rewrite handles it
+            try:
+                self._mvcc_reclaim(entry, tid)
+            except Exception:  # noqa: BLE001 — best effort, like GC
+                METRICS.inc("mvcc.gc_errors")
+        fresh = MvccStore(self.mvcc, entry)
+        fresh.bootstrap(iter(entry.tids))
+        entry.mvcc = fresh
 
     # -- index maintenance helpers ------------------------------------------------
 
@@ -805,6 +983,13 @@ class Database:
                 index.deindex_row(tid)
             else:
                 index.deindex_object(tid)
+
+    def _deindex_on_write(self, entry: TableEntry, tid: TID) -> None:
+        """Deindex a superseded/deleted version — deferred to GC on MVCC
+        tables, where a concurrent snapshot reader must still find the old
+        version through the index (PostgreSQL-vacuum style)."""
+        if entry.mvcc is None:
+            self._deindex(entry, tid)
 
     # ======================================================================
     # Statements (the language interface)
@@ -1247,6 +1432,13 @@ class Database:
                 f"  waits: {session._stmt_lock_waits}"
                 f"  held: {len(session.locks_held())}"
             )
+            snapshot = getattr(session, "_snapshot", None)
+            if snapshot is not None:
+                pinned = " (pinned)" if snapshot.pinned else ""
+                lines.append(
+                    f"snapshot: lsn={snapshot.point:g} "
+                    f"isolation={snapshot.isolation}{pinned}"
+                )
         stmt_waits = WAITS.statement_waits()
         if stmt_waits:
             total_wait = sum(ms for _count, ms in stmt_waits.values())
@@ -1293,8 +1485,18 @@ class Database:
     def _match_tuples(
         self, entry: TableEntry, var: str, where: Optional[ast.Predicate]
     ) -> list[tuple[TID, TupleValue]]:
+        # DML row selection runs against the session's snapshot (when one
+        # exists): a pinned transaction updates the rows *it sees*, and the
+        # write path's first-committer-wins check turns any tuple that was
+        # meanwhile changed or deleted into a SerializationError instead of
+        # silently matching zero rows
+        snapshot = self._read_snapshot(entry)
+        if snapshot is not None:
+            tids = list(_mvcc_read.snapshot_roots(entry, snapshot))
+        else:
+            tids = list(entry.tids)
         out = []
-        for tid in list(entry.tids):
+        for tid in tids:
             row = self._fetch(entry, tid)
             if where is None or self._executor._eval_predicate(where, {var: row}):
                 out.append((tid, row))
@@ -1369,6 +1571,15 @@ class Database:
                 self.last_plan = report
                 if METRICS.enabled:
                     METRICS.inc("query.index_plans")
+                snapshot = self._read_snapshot(entry)
+                if snapshot is not None:
+                    # lock-free: the index may surface dead or uncommitted
+                    # versions (deindexing is deferred to GC); the snapshot
+                    # visibility probe filters them
+                    for tid in roots:
+                        if _mvcc_read.tid_visible(entry, snapshot, tid):
+                            yield self._fetch(entry, tid)
+                    return
                 self._lock_table(name, LockMode.IS)
                 current = set(entry.tids)
                 for tid in roots:
@@ -1433,9 +1644,28 @@ class Database:
             return self._stream_current_roots(entry, index.roots_for(value))
         return None
 
+    def _read_snapshot(self, entry: TableEntry):
+        """The MVCC snapshot the current thread's reads of *entry* run
+        against, or None (2PL mode, an MVCC-exempt table, or a thread with
+        no session).  Snapshot reads take **no locks at all** — visibility
+        comes from version intervals, so readers never block writers and
+        writers never block readers."""
+        if self.mvcc is None or entry.mvcc is None:
+            return None
+        session = self._session()
+        if session is None:
+            return None
+        return session._snapshot
+
     def _stream_current_roots(
         self, entry: TableEntry, roots: Iterable[TID]
     ) -> Iterator[TupleValue]:
+        snapshot = self._read_snapshot(entry)
+        if snapshot is not None:
+            for root in roots:
+                if _mvcc_read.tid_visible(entry, snapshot, root):
+                    yield self._fetch(entry, root)
+            return
         self._lock_table(entry.name, LockMode.IS)
         current = set(entry.tids)
         for root in roots:
@@ -1463,10 +1693,17 @@ class Database:
     def _stream_heap_rows(
         self, entry: TableEntry, tids: Iterable[TID]
     ) -> Iterator[TupleValue]:
-        """Index-probe results from a flat table, S-locked per row."""
-        self._lock_table(entry.name, LockMode.IS)
+        """Index-probe results from a flat table, S-locked per row (or
+        visibility-filtered lock-free under an MVCC snapshot)."""
         heap = entry.heap
         assert heap is not None
+        snapshot = self._read_snapshot(entry)
+        if snapshot is not None:
+            for tid in tids:
+                if _mvcc_read.tid_visible(entry, snapshot, tid):
+                    yield heap.fetch(tid)
+            return
+        self._lock_table(entry.name, LockMode.IS)
         for tid in tids:
             self._lock_object(entry.name, tid, LockMode.S)
             if tid not in entry.tids:
@@ -1482,6 +1719,21 @@ class Database:
             yield from iterate_sys_view(self, name)
             return
         entry = self.catalog.table(name)
+        if asof is not None and entry.version_store is not None:
+            # ASOF = a snapshot read at an old point on the *time* axis:
+            # the same code path (snapshot_roots + interval_contains) MVCC
+            # statement/transaction snapshots use on the LSN axis
+            self._lock_table(name, LockMode.IS)
+            time_snapshot = Snapshot(AXIS_TIME, canonical_timestamp(asof))
+            for tid in _mvcc_read.snapshot_roots(entry, time_snapshot):
+                yield self._fetch(entry, tid)
+            return
+        if asof is None:
+            snapshot = self._read_snapshot(entry)
+            if snapshot is not None:
+                for tid in _mvcc_read.snapshot_roots(entry, snapshot):
+                    yield self._fetch(entry, tid)
+                return
         self._lock_table(name, LockMode.IS)
         if asof is not None and entry.temporal_manager is not None:
             for tid in self._current_tids(entry, asof):
@@ -1554,6 +1806,7 @@ class Database:
         with self._wal_scope():
             tid = entry.manager.import_object(ObjectBundle.from_bytes(blob))
             entry.tids.append(tid)
+            self._note_mvcc_insert(entry, tid)
             self._index_object(entry, tid)
             self._lock_object(table, tid, LockMode.X)
             return tid
@@ -1678,7 +1931,15 @@ class Database:
             if entry.is_flat:
                 scanned = {tid for tid, _row in entry.heap.scan()}  # type: ignore[union-attr]
                 missing = set(entry.tids) - scanned
-                extra = scanned - set(entry.tids)
+                # heap records beyond the current tuples are legitimate
+                # when they are retained versions: temporal history
+                # (version chains) or MVCC versions awaiting GC
+                keep = set(entry.tids)
+                if entry.version_store is not None:
+                    keep |= set(entry.version_store.all_roots_ever())
+                if entry.mvcc is not None:
+                    keep |= entry.mvcc.live_tids()
+                extra = scanned - keep
                 if missing:
                     problems.append(f"{name}: heap lost tuples {sorted(missing)}")
                 if extra:
@@ -1819,6 +2080,7 @@ class Database:
                     "ddl": schema_to_ddl(entry.schema),
                     "versioned": entry.versioned,
                     "versioning": entry.versioning,
+                    "timestamp_axis": entry.timestamp_axis,
                     "segment": entry.segment.state(),
                     "tids": [[t.page, t.slot] for t in entry.tids],
                     "history_tids": [
@@ -1891,6 +2153,7 @@ class Database:
             entry.history_tids = [
                 TID(*pair) for pair in table_state.get("history_tids", [])
             ]
+            entry.timestamp_axis = table_state.get("timestamp_axis")
             if table_state["version_store"] is not None:
                 entry.version_store = VersionStore.restore(
                     table_state["version_store"]
@@ -1898,6 +2161,10 @@ class Database:
                 entry.object_ids = {
                     TID(*tid): oid for tid, oid in table_state["object_ids"]
                 }
+            # orphan sweep + MVCC bootstrap must run before the index
+            # rebuild below — it scans the heap and would index orphans
+            self._sweep_entry_orphans(entry)
+            self._bootstrap_mvcc(entry)
             self.catalog.add_table(entry)
             for index_state in table_state["indexes"]:
                 if index_state["text"]:
@@ -1913,6 +2180,22 @@ class Database:
                         mode=AddressingMode(index_state["mode"]),
                     )
 
+    def _sweep_entry_orphans(self, entry: TableEntry) -> None:
+        """Reclaim flat-heap records left by MVCC versions whose GC never
+        ran (a crash between commit and collection).  Version chains are
+        not persisted, so on reopen anything that is neither current nor
+        temporal history is garbage by construction.  NF2 objects in the
+        same situation are left in place (their pages are unreachable but
+        harmless); documented in docs/CONCURRENCY.md."""
+        if self.mvcc is None or not entry.is_flat or entry.heap is None:
+            return
+        keep = set(entry.tids)
+        if entry.version_store is not None:
+            keep |= set(entry.version_store.all_roots_ever())
+        for tid, _row in list(entry.heap.scan()):
+            if tid not in keep:
+                entry.heap.delete(tid)
+
     @property
     def io_stats(self):
         return self.buffer.stats
@@ -1925,6 +2208,14 @@ class Database:
 
     def close(self) -> None:
         self.ash.stop()
+        if self.mvcc is not None:
+            with self._write_latch:
+                # final GC drain: no snapshots survive close, so every
+                # closed version is reclaimable; the checkpoint below (or
+                # flush) persists the compacted heap.  Any page this
+                # dirties outside a WAL txn is folded into a commit by
+                # checkpoint()'s stray-unlogged-changes path.
+                _mvcc_gc.collect(self)
         if self.wal is not None:
             try:
                 if self.wal.failure is None:
@@ -1961,12 +2252,18 @@ class _Transaction:
         self._db = db
         self._snapshots: dict[str, list[dict]] = {}
         self._owns_wal = False
+        self._owns_mvcc = False
 
     def touch(self, table: str) -> None:
         if table in self._snapshots:
             return
+        # capture the *actual* current contents (not a snapshot read —
+        # under MVCC the session's pinned snapshot may lag behind rows
+        # committed before this transaction took its table X lock, and
+        # rollback must not resurrect that older state)
+        entry = self._db.catalog.table(table)
         self._snapshots[table] = [
-            row.to_plain() for row in self._db.iterate_table(table)
+            self._db._fetch(entry, tid).to_plain() for tid in list(entry.tids)
         ]
 
     def __enter__(self) -> "_Transaction":
@@ -1979,6 +2276,14 @@ class _Transaction:
             if not wal.in_txn:
                 wal.begin()  # may raise — before any state change
                 self._owns_wal = True
+        if self._db.mvcc is not None:
+            # the transaction owns the outer MVCC write scope: statement
+            # scopes nest inside it, so no version becomes visible to
+            # other snapshots until the whole transaction commits
+            session = self._db._session()
+            snapshot = session._snapshot if session is not None else None
+            self._db.mvcc.begin_scope(snapshot)
+            self._owns_mvcc = True
         self._db._active_txn = self
         return self
 
@@ -1986,38 +2291,49 @@ class _Transaction:
         db = self._db
         db._active_txn = None
         wal = db.wal if self._owns_wal else None
-        if exc_type is not None:
+        try:
+            if exc_type is not None:
+                if wal is not None:
+                    try:
+                        # log an ABORT (the failed work becomes a loser),
+                        # then commit the rolled-back state under a
+                        # successor txn so the durable state converges
+                        # with memory
+                        wal.convert_abort()
+                        self.rollback()
+                        wal.log_commit(
+                            db._catalog_state(), db.buffer.image_for_log
+                        )
+                    except Exception as wal_exc:
+                        # WAL failure (e.g. injected crash): poison it so
+                        # no later mutation slips past a log that stopped
+                        # recording; the original exception matters more
+                        wal.poison(wal_exc)
+                else:
+                    self.rollback()
+                return False  # propagate the exception after rolling back
             if wal is not None:
                 try:
-                    # log an ABORT (the failed work becomes a loser), then
-                    # commit the rolled-back state under a successor txn so
-                    # the durable state converges with memory
-                    wal.convert_abort()
-                    self.rollback()
-                    wal.log_commit(
+                    needs_checkpoint = wal.log_commit(
                         db._catalog_state(), db.buffer.image_for_log
                     )
-                except Exception as wal_exc:
-                    # WAL failure (e.g. injected crash): poison it so no
-                    # later mutation slips past a log that stopped
-                    # recording; the original exception matters more
-                    wal.poison(wal_exc)
-            else:
-                self.rollback()
-            return False  # propagate the exception after rolling back
-        if wal is not None:
-            try:
-                needs_checkpoint = wal.log_commit(
-                    db._catalog_state(), db.buffer.image_for_log
+                except BaseException as exc_:
+                    wal.poison(exc_)
+                    raise
+                if needs_checkpoint:
+                    if METRICS.enabled:
+                        METRICS.inc("wal.auto_checkpoints")
+                    db.checkpoint()
+            return False
+        finally:
+            if self._owns_mvcc:
+                self._owns_mvcc = False
+                # commit point for MVCC: stamp this transaction's versions
+                # (rolled-back work nets out to empty intervals) and make
+                # them visible — after durability, never before
+                db.mvcc.end_scope(
+                    db.wal.last_commit_lsn if db.wal is not None else None
                 )
-            except BaseException as exc:
-                wal.poison(exc)
-                raise
-            if needs_checkpoint:
-                if METRICS.enabled:
-                    METRICS.inc("wal.auto_checkpoints")
-                db.checkpoint()
-        return False
 
     def rollback(self) -> None:
         """Restore every touched table to its snapshot."""

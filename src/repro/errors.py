@@ -149,6 +149,13 @@ class DeadlockError(ConcurrencyError):
     in the wait-for-graph cycle) and must be retried."""
 
 
+class SerializationError(ConcurrencyError):
+    """A snapshot transaction lost a first-committer-wins write conflict:
+    the row it tried to write was modified (and committed) by another
+    transaction after this transaction's snapshot was taken.  The
+    transaction is rolled back; retry it on a fresh snapshot."""
+
+
 # --------------------------------------------------------------------------
 # Access paths & tuple names
 # --------------------------------------------------------------------------

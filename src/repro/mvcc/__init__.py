@@ -1,0 +1,32 @@
+"""Multi-version concurrency control (MVCC) over LSN-stamped versions.
+
+The subsystem generalizes :mod:`repro.temporal` — the paper's Section-5
+time-version chains — into a concurrency mechanism: every committed
+mutation scope produces object versions stamped with a **commit LSN**,
+session reads run against a consistent *snapshot* (the highest committed
+LSN when the statement or transaction started) without taking any shared
+locks, and ``ASOF t`` becomes the degenerate "snapshot at an old
+timestamp" case answered through the very same visibility predicate.
+
+Modules:
+
+``visibility``
+    the one half-open-interval containment predicate every version read
+    (temporal ``ASOF`` *and* MVCC snapshots) decides through
+``snapshot``
+    :class:`Snapshot` (an axis + a point on it) and :class:`MvccManager`
+    (commit-LSN allocation, active-snapshot registry, write scopes,
+    first-committer-wins bookkeeping, the GC queue)
+``store``
+    :class:`MvccStore` — per-table ``TID -> MvccVersion`` records with
+    pending (uncommitted) begin/end transaction overlays
+``read``
+    :func:`snapshot_roots` — the shared read path that turns a snapshot
+    (either axis) into the set of visible root TIDs
+``gc``
+    :func:`collect` — watermark-driven reclamation of versions no active
+    or future snapshot can see
+
+Enable it per database with ``Database(mvcc=True)``; see
+``docs/CONCURRENCY.md`` for the protocol.
+"""

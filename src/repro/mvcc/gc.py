@@ -1,0 +1,57 @@
+"""Version garbage collection.
+
+A version whose life ended at commit LSN *e* is unreachable once every
+active snapshot reads at a point ``>= e`` (ends are exclusive) — the
+manager's *watermark* (min over active snapshot points and the committed
+LSN) is exactly that bound, so the FIFO GC queue can be drained from the
+front while ``end <= watermark``.
+
+Reclaiming a version means finally doing the work the write path deferred:
+dropping its index entries and (for plain tables) deleting the heap
+record.  Tables that also keep a temporal :class:`VersionStore` retain the
+record itself — it is still history that ``ASOF`` must reach — and only
+shed the index entries.  After a round that reclaimed anything, the new
+watermark is logged to the WAL (``GC_WATERMARK``) so the log records how
+far version history has been truncated.
+
+``collect`` runs opportunistically at moments the database already holds
+the write latch (start of a write scope, close); a failure to reclaim one
+version is counted (``mvcc.gc_errors``) and skipped, never raised — GC
+must not fail a user statement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs import METRICS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.database import Database
+
+
+def collect(db: "Database", limit: Optional[int] = None) -> int:
+    """Reclaim versions below the snapshot watermark; returns the count."""
+    manager = db.mvcc
+    if manager is None:
+        return 0
+    claimed, watermark = manager.pop_reclaimable(limit)
+    reclaimed = 0
+    for end_lsn, store, tid in claimed:
+        if not store.reclaimable(tid, end_lsn):
+            continue  # superseded entry (defensive; TIDs aren't reused early)
+        try:
+            db._mvcc_reclaim(store.entry, tid)
+        except Exception:
+            METRICS.inc("mvcc.gc_errors")
+            continue
+        store.discard(tid)
+        reclaimed += 1
+    if reclaimed:
+        METRICS.inc("mvcc.gc_reclaimed", reclaimed)
+        if db.wal is not None:
+            try:
+                db.wal.log_gc_watermark(watermark)
+            except Exception:  # pragma: no cover - WAL poisoned/closed
+                METRICS.inc("mvcc.gc_errors")
+    return reclaimed

@@ -1,0 +1,70 @@
+"""The shared snapshot read path.
+
+``snapshot_roots(entry, snapshot)`` answers "which root TIDs does this
+snapshot see?" for **both** axes:
+
+* ``AXIS_TIME`` — walks the table's temporal
+  :class:`~repro.temporal.versions.VersionStore` chains (``ASOF t``);
+* ``AXIS_LSN`` — walks the table's :class:`~repro.mvcc.store.MvccStore`
+  records (MVCC statement/transaction snapshots).
+
+Either way each candidate version is admitted by the single
+:func:`repro.mvcc.visibility.interval_contains` predicate, which is the
+unification the tentpole asks for: ``ASOF`` *is* a snapshot read at an
+old point on the time axis.  ``Database`` calls through this module's
+attributes (``read.snapshot_roots`` / ``visibility.interval_contains``)
+so the shared-path test can intercept them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import TemporalError
+from repro.mvcc import visibility
+from repro.mvcc.snapshot import AXIS_LSN, AXIS_TIME
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.catalog import TableEntry
+    from repro.mvcc.snapshot import Snapshot
+    from repro.storage.tid import TID
+
+
+def snapshot_roots(entry: "TableEntry", snapshot: "Snapshot") -> list["TID"]:
+    """Root TIDs of every object version *snapshot* sees in *entry*."""
+    out: list["TID"] = []
+    if snapshot.axis == AXIS_TIME:
+        store = entry.version_store
+        if store is None:
+            raise TemporalError(f"table {entry.name} is not versioned")
+        for chain in store._chains.values():
+            for version in chain.versions:
+                if version.root_tid is not None and visibility.interval_contains(
+                    version.valid_from, version.valid_to, snapshot.point
+                ):
+                    out.append(version.root_tid)
+        return out
+    if snapshot.axis != AXIS_LSN:  # pragma: no cover - defensive
+        raise TemporalError(f"unknown snapshot axis {snapshot.axis!r}")
+    mvcc = entry.mvcc
+    if mvcc is None:
+        raise TemporalError(f"table {entry.name} has no MVCC store")
+    for version in mvcc.versions():
+        begin, end = mvcc.interval_for(version, snapshot.txn)
+        if visibility.interval_contains(begin, end, snapshot.point):
+            out.append(version.tid)
+    return out
+
+
+def tid_visible(entry: "TableEntry", snapshot: "Snapshot", tid: "TID") -> bool:
+    """Point probe used by index lookups: does *snapshot* see *tid*?"""
+    if snapshot.axis == AXIS_TIME:
+        return tid in snapshot_roots(entry, snapshot)
+    mvcc = entry.mvcc
+    if mvcc is None:
+        return True
+    version = mvcc.get(tid)
+    if version is None:
+        return True
+    begin, end = mvcc.interval_for(version, snapshot.txn)
+    return visibility.interval_contains(begin, end, snapshot.point)

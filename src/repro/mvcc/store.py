@@ -1,0 +1,157 @@
+"""Per-table MVCC version records.
+
+Storage is copy-on-write at the object level (like the temporal layer):
+every physical root TID is exactly one version of one logical object, so a
+table's MVCC state is a flat ``TID -> MvccVersion`` map.  A version's life
+is the half-open commit-LSN interval ``[begin, end)``:
+
+* ``begin`` — commit LSN of the scope that created it, or ``None`` while
+  that scope is still running (``begin_txn`` then names the writer);
+* ``end`` — ``inf`` while current, the commit LSN of the scope that
+  overwrote/deleted it, or ``None`` while a delete is pending
+  (``end_txn`` names the deleter).
+
+``interval_for`` resolves the pending ``None`` ends against a reader's
+transaction id — a writer sees its own uncommitted inserts (begin → -inf)
+and not its own pending deletes (end → -inf ⇒ empty interval), everyone
+else sees the committed state — after which visibility is the plain
+:func:`repro.mvcc.visibility.interval_contains` test.
+
+Old versions keep their heap record *and* their index entries until GC
+decides no snapshot can reach them (deferred deindexing, as in a
+PostgreSQL vacuum); ``live_tids`` is what lets ``Database.verify`` tell
+those retained heap records from genuine orphans.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.mvcc.visibility import INF, NEG_INF, interval_contains
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.catalog import TableEntry
+    from repro.mvcc.snapshot import MvccManager, Snapshot
+    from repro.storage.tid import TID
+
+
+class MvccVersion:
+    __slots__ = ("tid", "begin", "end", "begin_txn", "end_txn")
+
+    def __init__(
+        self,
+        tid: "TID",
+        begin: Optional[float],
+        end: Optional[float],
+        begin_txn: int = 0,
+        end_txn: int = 0,
+    ):
+        self.tid = tid
+        self.begin = begin
+        self.end = end
+        self.begin_txn = begin_txn
+        self.end_txn = end_txn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MvccVersion({self.tid}, [{self.begin}, {self.end}))"
+
+
+class MvccStore:
+    """MVCC version records for one table."""
+
+    def __init__(self, manager: "MvccManager", entry: "TableEntry"):
+        self.manager = manager
+        self.entry = entry
+        self._by_tid: dict["TID", MvccVersion] = {}
+
+    # -- bootstrap -----------------------------------------------------------
+
+    def bootstrap(self, tids: Iterator["TID"]) -> None:
+        """Seed every already-committed row as visible since commit 0."""
+        for tid in tids:
+            self._by_tid[tid] = MvccVersion(tid, 0.0, INF)
+
+    # -- writer notifications (called under the table's exclusive locks) -----
+
+    def note_insert(self, tid: "TID", txn: int) -> None:
+        version = MvccVersion(tid, None, INF, begin_txn=txn)
+        self._by_tid[tid] = version
+        self.manager.note_pending(self, version)
+
+    def note_delete(self, tid: "TID", txn: int) -> None:
+        version = self._by_tid.get(tid)
+        if version is None:
+            # row predates MVCC bookkeeping (shouldn't happen after
+            # bootstrap); treat as committed-since-0 then close it
+            version = MvccVersion(tid, 0.0, INF)
+            self._by_tid[tid] = version
+        version.end = None
+        version.end_txn = txn
+        self.manager.note_pending(self, version)
+
+    # -- conflict detection ---------------------------------------------------
+
+    def committed_after(self, tid: "TID", point: float) -> bool:
+        """First-committer-wins test: was this row's version created or
+        ended by a commit *after* the snapshot point?  (Pending versions
+        can only belong to the caller — the WAL token admits one writer.)"""
+        version = self._by_tid.get(tid)
+        if version is None:
+            return False
+        if version.begin is not None and version.begin > point:
+            return True
+        if version.end is not None and version.end != INF and version.end > point:
+            return True
+        return False
+
+    # -- reading --------------------------------------------------------------
+
+    def interval_for(
+        self, version: MvccVersion, txn: Optional[int]
+    ) -> tuple[float, float]:
+        """Resolve a version's interval as seen by reader transaction *txn*."""
+        begin = version.begin
+        if begin is None:
+            begin = NEG_INF if (txn is not None and version.begin_txn == txn) else INF
+        end = version.end
+        if end is None:
+            end = NEG_INF if (txn is not None and version.end_txn == txn) else INF
+        return begin, end
+
+    def visible(self, tid: "TID", snapshot: "Snapshot") -> bool:
+        version = self._by_tid.get(tid)
+        if version is None:
+            return True  # untracked ⇒ committed before MVCC began watching
+        begin, end = self.interval_for(version, snapshot.txn)
+        return interval_contains(begin, end, snapshot.point)
+
+    def versions(self) -> list[MvccVersion]:
+        # list() over dict.values() copies atomically under the GIL, so
+        # lock-free readers never see a half-updated view
+        return list(self._by_tid.values())
+
+    def get(self, tid: "TID") -> Optional[MvccVersion]:
+        return self._by_tid.get(tid)
+
+    def live_tids(self) -> set["TID"]:
+        """Every TID that still has a version record (current, pending, or
+        awaiting GC) — their heap records are intentionally retained."""
+        return set(self._by_tid)
+
+    @property
+    def version_count(self) -> int:
+        return len(self._by_tid)
+
+    # -- garbage collection ----------------------------------------------------
+
+    def reclaimable(self, tid: "TID", end_lsn: float) -> bool:
+        """Is the queued (tid, end_lsn) entry still the version to reclaim?"""
+        version = self._by_tid.get(tid)
+        return (
+            version is not None
+            and version.end is not None
+            and version.end == end_lsn
+        )
+
+    def discard(self, tid: "TID") -> None:
+        self._by_tid.pop(tid, None)

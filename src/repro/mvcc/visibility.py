@@ -1,0 +1,31 @@
+"""The one version-visibility predicate.
+
+Every versioned read in the engine — the paper's ``ASOF t`` time travel
+over :class:`repro.temporal.versions.VersionChain` *and* MVCC snapshot
+reads over :class:`repro.mvcc.store.MvccStore` — decides visibility by the
+same half-open interval test::
+
+    valid_from <= point < valid_to
+
+``valid_from`` is **inclusive** (a version is visible at the exact instant
+it was committed) and ``valid_to`` is **exclusive** (at the instant an
+object is overwritten, the *new* version is the visible one).  Both axes —
+wall-clock/logical timestamps and commit LSNs — resolve open interval ends
+to ``±inf`` floats before calling in, so the predicate itself stays a pure
+three-float comparison with no special cases.
+
+Keeping the predicate in one place is the point of the unification: the
+shared-path test monkeypatches this function and asserts both ``ASOF`` and
+``transaction(isolation="snapshot")`` reads flow through it.
+"""
+
+from __future__ import annotations
+
+#: open interval ends resolve to these before the predicate runs
+INF = float("inf")
+NEG_INF = float("-inf")
+
+
+def interval_contains(valid_from: float, valid_to: float, point: float) -> bool:
+    """True iff *point* lies in the half-open interval ``[valid_from, valid_to)``."""
+    return valid_from <= point < valid_to

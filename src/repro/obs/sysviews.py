@@ -30,6 +30,10 @@ Views (query them like any table, e.g. ``FROM m IN SYS.METRICS``):
                           retention: errors / slow / client-armed kept)
 ``SYS.SPANS``             the flattened span trees of all retained traces,
                           with parent path, depth, and an ``ATTRS`` subtable
+``SYS.TRANSACTIONS``      the MVCC snapshot registry: one row per active
+                          snapshot with its axis, read point, isolation,
+                          and the manager's commit/GC state (zero rows for
+                          databases opened without ``mvcc=True``)
 ========================  ====================================================
 
 The views are read-only (DML and DDL against ``SYS.*`` is rejected) and
@@ -62,6 +66,7 @@ SYS_VIEW_NAMES = (
     "ASH",
     "TRACES",
     "SPANS",
+    "TRANSACTIONS",
 )
 
 
@@ -247,6 +252,21 @@ SPANS_SCHEMA = table(
     nested("ATTRS", _SPAN_ATTRS),
 )
 
+TRANSACTIONS_SCHEMA = table(
+    "SYS_TRANSACTIONS",
+    atomic("SID", "INT"),           # snapshot id (unique per manager)
+    atomic("SESSION", "STRING"),
+    atomic("ISOLATION", "STRING"),  # statement | snapshot
+    atomic("PINNED", "BOOL"),       # True for snapshot-isolation txns
+    atomic("AXIS", "STRING"),       # lsn | time
+    atomic("POINT", "FLOAT"),       # commit sequence / canonical timestamp
+    atomic("TXN", "INT"),           # write txn whose pending versions it sees
+    atomic("COMMITTED_LSN", "FLOAT"),
+    atomic("WATERMARK", "FLOAT"),   # oldest active read point (GC horizon)
+    atomic("GC_BACKLOG", "INT"),    # dead versions awaiting reclamation
+    atomic("LAST_WAL_LSN", "INT"),  # byte LSN of the latest COMMIT record
+)
+
 _SCHEMAS: dict[str, TableSchema] = {
     "METRICS": METRICS_SCHEMA,
     "SESSIONS": SESSIONS_SCHEMA,
@@ -258,6 +278,7 @@ _SCHEMAS: dict[str, TableSchema] = {
     "ASH": ASH_SCHEMA,
     "TRACES": TRACES_SCHEMA,
     "SPANS": SPANS_SCHEMA,
+    "TRANSACTIONS": TRANSACTIONS_SCHEMA,
 }
 
 
@@ -529,6 +550,29 @@ def _span_rows(db: "Database") -> Iterator[dict]:
             }
 
 
+def _transaction_rows(db: "Database") -> Iterator[dict]:
+    manager = db.mvcc
+    if manager is None:
+        return
+    committed = manager.committed_lsn
+    watermark = manager.watermark()
+    backlog = manager.gc_backlog()
+    for snap in sorted(manager.active_snapshots(), key=lambda s: s.sid):
+        yield {
+            "SID": snap.sid,
+            "SESSION": snap.session,
+            "ISOLATION": snap.isolation,
+            "PINNED": snap.pinned,
+            "AXIS": snap.axis,
+            "POINT": _float(snap.point),
+            "TXN": snap.txn,
+            "COMMITTED_LSN": _float(committed),
+            "WATERMARK": _float(watermark),
+            "GC_BACKLOG": backlog,
+            "LAST_WAL_LSN": manager.last_wal_lsn,
+        }
+
+
 _PRODUCERS = {
     "METRICS": _metric_rows,
     "SESSIONS": _session_rows,
@@ -540,4 +584,5 @@ _PRODUCERS = {
     "ASH": _ash_rows,
     "TRACES": _trace_rows,
     "SPANS": _span_rows,
+    "TRANSACTIONS": _transaction_rows,
 }

@@ -16,8 +16,11 @@ Wire protocol (text, UTF-8, newline-framed — telnet/netcat friendly):
 * The client sends **one line per statement** (the trailing ``;`` is
   optional).  Shell dot-commands (``.tables``, ``.locks``, ...) work too.
 * Three session-control verbs manage an explicit transaction scope:
-  ``BEGIN``, ``COMMIT``, ``ROLLBACK`` (strict two-phase locking; see
-  :mod:`repro.concurrency.session`).
+  ``BEGIN``, ``COMMIT``, ``ROLLBACK`` (see
+  :mod:`repro.concurrency.session`).  ``BEGIN SNAPSHOT`` and ``BEGIN 2PL``
+  pick the isolation level explicitly (``BEGIN`` alone takes the
+  database's default: snapshot isolation under ``mvcc=True``, strict
+  two-phase locking otherwise).
 * ``METRICS`` returns the live metrics registry rendered in the
   Prometheus text format — the scrape surface
   (``printf 'METRICS\\n' | nc host port`` works like a ``curl`` against
@@ -128,14 +131,18 @@ class _Connection(socketserver.StreamRequestHandler):
                         print(f"trace armed {armed}", file=out)
                     except ValueError as exc:
                         print(f"error: {exc}", file=out)
-                elif upper == "BEGIN":
+                elif upper == "BEGIN" or upper.startswith("BEGIN "):
                     if txn is not None:
                         print("error: transaction already open", file=out)
                     else:
+                        isolation = line[len("BEGIN"):].strip().lower() or None
                         try:
-                            txn = session.transaction()
+                            txn = session.transaction(isolation=isolation)
                             txn.__enter__()
-                            print("begin", file=out)
+                            if isolation is None:
+                                print("begin", file=out)
+                            else:
+                                print(f"begin ({txn.isolation})", file=out)
                         except ReproError as exc:
                             txn = None
                             print(f"error: {exc}", file=out)
@@ -244,9 +251,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--port", type=int, default=7474)
     parser.add_argument("--init", default=None,
                         help="';'-separated statements to run before serving")
+    parser.add_argument("--mvcc", action="store_true",
+                        help="open with MVCC snapshot reads "
+                             "(enables BEGIN SNAPSHOT)")
     args = parser.parse_args(argv)
 
-    db = Database(path=args.database)
+    db = Database(path=args.database, mvcc=args.mvcc)
     if args.init:
         from repro.shell import run_script
 

@@ -28,6 +28,8 @@ dot-commands::
     .checkpoint          flush pages + truncate the write-ahead log
     .wal                 WAL status (log size, commits, fsyncs, ...)
     .locks               lock-manager snapshot (grants, waiters, counters)
+    .transactions        MVCC snapshot registry (active snapshots, commit
+                         sequence, GC backlog; needs mvcc=True)
     .help                this text
     .quit                leave
 
@@ -323,6 +325,30 @@ def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
             print(f"  {info.describe()}", file=out)
         for key, value in db.locks.stats().items():
             print(f"  {key}: {value}", file=out)
+    elif command == ".transactions":
+        if db.mvcc is None:
+            print("no MVCC (database opened without mvcc=True)", file=out)
+        else:
+            manager = db.mvcc
+            print(
+                f"  committed_lsn: {manager.committed_lsn:g}"
+                f"  watermark: {manager.watermark():g}"
+                f"  gc_backlog: {manager.gc_backlog()}"
+                f"  last_wal_lsn: {manager.last_wal_lsn}",
+                file=out,
+            )
+            snaps = sorted(manager.active_snapshots(), key=lambda s: s.sid)
+            if not snaps:
+                print("  no active snapshots", file=out)
+            for snap in snaps:
+                pinned = " pinned" if snap.pinned else ""
+                txn = f" txn={snap.txn}" if snap.txn is not None else ""
+                print(
+                    f"  [{snap.sid}] {snap.session or '?'}: "
+                    f"{snap.axis}={snap.point:g} "
+                    f"({snap.isolation}{pinned}{txn})",
+                    file=out,
+                )
     else:
         print(f"unknown command {command!r}; try .help", file=out)
     return True
@@ -338,10 +364,13 @@ def run_script(db: Database, text: str, out=sys.stdout) -> None:
 
 def main(argv: Optional[list[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    mvcc = "--mvcc" in argv
+    argv = [a for a in argv if a != "--mvcc"]
     path = argv[0] if argv else None
-    db = Database(path=path)
+    db = Database(path=path, mvcc=mvcc)
     where = path or "in-memory"
-    print(f"AIM-II NF2 shell — {where} database; .help for help")
+    mode = " (mvcc)" if mvcc else ""
+    print(f"AIM-II NF2 shell — {where} database{mode}; .help for help")
     buffer = ""
     try:
         while True:

@@ -14,7 +14,12 @@ in DESIGN.md and measured in the temporal ablation benchmark.)
 
 Timestamps may be dates (the paper's "ASOF January 15th, 1984") or
 monotonically increasing logical integers; they are compared on a common
-axis via :func:`canonical_timestamp`.
+axis via :func:`canonical_timestamp`.  One table must stick to one axis
+for its *write* stamps: a date maps to its ordinal day (~738k for current
+dates) while logical stamps count from 1, so mixing the two on a single
+table would silently mis-order its versions — :meth:`VersionStore._stamp`
+rejects the mix with a :class:`TemporalError` instead.  (Reads — ``ASOF``
+— may probe with either representation; they only compare, never stamp.)
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.errors import TemporalError
+from repro.mvcc import visibility
 from repro.storage.tid import TID
 
 Timestamp = Union[int, float, datetime.date]
@@ -50,6 +56,15 @@ def canonical_timestamp(value: Timestamp) -> float:
     return float(value)
 
 
+def timestamp_axis(value: Timestamp) -> str:
+    """Which comparison axis a timestamp lives on: ``date`` or ``logical``."""
+    if isinstance(value, datetime.date):  # datetime.datetime included
+        return "date"
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TemporalError(f"invalid timestamp {value!r}")
+    return "logical"
+
+
 @dataclass
 class Version:
     valid_from: float
@@ -68,7 +83,11 @@ class VersionChain:
 
     def at(self, when: float) -> Optional[Version]:
         for version in self.versions:
-            if version.valid_from <= when < version.valid_to:
+            # the same predicate MVCC snapshot reads use (repro.mvcc):
+            # valid_from inclusive, valid_to exclusive
+            if visibility.interval_contains(
+                version.valid_from, version.valid_to, when
+            ):
                 return version
         return None
 
@@ -86,10 +105,25 @@ class VersionStore:
         self._chains: dict[int, VersionChain] = {}
         self._next_object_id = 1
         self._last_timestamp = 0.0
+        #: axis of the explicit write stamps seen so far (None until one is)
+        self._axis: Optional[str] = None
 
     # -- recording -------------------------------------------------------------
 
+    def _note_axis(self, at: Timestamp) -> None:
+        axis = timestamp_axis(at)
+        if self._axis is None:
+            self._axis = axis
+        elif self._axis != axis:
+            raise TemporalError(
+                f"cannot stamp a {axis} timestamp {at!r} on a table whose "
+                f"versions use {self._axis} timestamps: the two axes are not "
+                "comparable and versions would be silently mis-ordered"
+            )
+
     def _stamp(self, at: Optional[Timestamp]) -> float:
+        if at is not None:
+            self._note_axis(at)
         when = canonical_timestamp(at) if at is not None else self._last_timestamp + 1.0
         if when < self._last_timestamp:
             raise TemporalError(
@@ -184,6 +218,7 @@ class VersionStore:
         return {
             "next_object_id": self._next_object_id,
             "last_timestamp": self._last_timestamp,
+            "axis": self._axis,
             "chains": [
                 {
                     "object_id": chain.object_id,
@@ -206,6 +241,7 @@ class VersionStore:
         store = cls()
         store._next_object_id = state["next_object_id"]
         store._last_timestamp = state["last_timestamp"]
+        store._axis = state.get("axis")  # pre-MVCC sidecars lack the key
         for chain_state in state["chains"]:
             chain = VersionChain(chain_state["object_id"])
             for v in chain_state["versions"]:

@@ -38,8 +38,10 @@ from repro.wal.record import (
     REC_BEGIN,
     REC_CHECKPOINT,
     REC_COMMIT,
+    REC_GC_WATERMARK,
     REC_PAGE_IMAGE,
     encode_catalog,
+    encode_gc_watermark,
     encode_page_image,
     encode_record,
 )
@@ -113,6 +115,10 @@ class WalManager:
         self._prev_lsn = 0
         self._txn: Optional[int] = None
         self._next_txn = 1
+        #: byte LSN of the latest COMMIT record (observability; resets on
+        #: checkpoint truncation, so MVCC stamps versions with its own
+        #: commit sequence instead)
+        self.last_commit_lsn: Optional[int] = None
         #: pages dirtied since the last commit/checkpoint — not yet covered
         #: by a durable log record, so the buffer must not write them out
         self._dirty: set[int] = set()
@@ -185,7 +191,9 @@ class WalManager:
             lsn = self._io.size
             image = get_image(page_no, lsn)
             self._append(REC_PAGE_IMAGE, txn, encode_page_image(page_no, image))
-        self._append(REC_COMMIT, txn, encode_catalog(catalog_state))
+        self.last_commit_lsn = self._append(
+            REC_COMMIT, txn, encode_catalog(catalog_state)
+        )
         self.flush()
         self._dirty.clear()
         self._txn = None
@@ -218,6 +226,12 @@ class WalManager:
         self._next_txn += 1
         self._append(REC_BEGIN, self._txn, b"")
         return self._txn
+
+    def log_gc_watermark(self, watermark: float) -> int:
+        """Record how far MVCC version GC has advanced (informational —
+        redo skips it, recovery merely reports the last one seen)."""
+        self._check_alive()
+        return self._append(REC_GC_WATERMARK, 0, encode_gc_watermark(watermark))
 
     # -- durability ------------------------------------------------------------
 

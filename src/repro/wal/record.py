@@ -32,6 +32,10 @@ Record types and payloads:
 ``CHECKPOINT``
     zlib-compressed catalog JSON — written after all dirty pages reached
     the data file; recovery starts its redo scan at the last checkpoint.
+``GC_WATERMARK``
+    ``f64`` — the MVCC version-GC watermark (oldest snapshot point still
+    reachable) after a reclamation round.  Informational: redo skips it;
+    recovery reports the last one seen (``RecoveryResult.gc_watermark``).
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ REC_COMMIT = 2
 REC_ABORT = 3
 REC_PAGE_IMAGE = 4
 REC_CHECKPOINT = 5
+REC_GC_WATERMARK = 6
 
 RECORD_NAMES = {
     REC_BEGIN: "BEGIN",
@@ -56,6 +61,7 @@ RECORD_NAMES = {
     REC_ABORT: "ABORT",
     REC_PAGE_IMAGE: "PAGE_IMAGE",
     REC_CHECKPOINT: "CHECKPOINT",
+    REC_GC_WATERMARK: "GC_WATERMARK",
 }
 
 _HEADER = struct.Struct(">IIQQBQ")  # length, crc, lsn, prev_lsn, type, txn
@@ -146,3 +152,16 @@ def encode_catalog(state: Any) -> bytes:
 
 def decode_catalog(payload: bytes) -> Any:
     return json.loads(zlib.decompress(payload).decode("utf-8"))
+
+
+_F64 = struct.Struct(">d")
+
+
+def encode_gc_watermark(watermark: float) -> bytes:
+    return _F64.pack(watermark)
+
+
+def decode_gc_watermark(payload: bytes) -> float:
+    if len(payload) != _F64.size:
+        raise WalError("malformed GC_WATERMARK payload")
+    return _F64.unpack(payload)[0]

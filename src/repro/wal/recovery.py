@@ -35,8 +35,10 @@ from repro.wal.record import (
     REC_BEGIN,
     REC_CHECKPOINT,
     REC_COMMIT,
+    REC_GC_WATERMARK,
     REC_PAGE_IMAGE,
     decode_catalog,
+    decode_gc_watermark,
     decode_page_image,
     iter_records,
 )
@@ -56,6 +58,8 @@ class RecoveryResult:
     torn_pages_repaired: int = 0
     #: ids of loser transactions, for diagnostics
     loser_ids: list = field(default_factory=list)
+    #: last MVCC version-GC watermark logged before the crash (or None)
+    gc_watermark: Optional[float] = None
 
     @property
     def replayed_anything(self) -> bool:
@@ -106,6 +110,8 @@ def recover(wal_path: str, file: PagedFile) -> Optional[RecoveryResult]:
     for record in tail:
         if record.type == REC_COMMIT and record.txn in winners:
             result.catalog_state = decode_catalog(record.payload)
+        if record.type == REC_GC_WATERMARK:
+            result.gc_watermark = decode_gc_watermark(record.payload)
         if record.type != REC_PAGE_IMAGE or record.txn not in winners:
             continue
         page_no, image = decode_page_image(record.payload)
