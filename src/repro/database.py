@@ -23,6 +23,7 @@ every DML path, and exposes tuple names and temporal ASOF support.
 from __future__ import annotations
 
 import datetime
+import os
 import threading
 import time
 import weakref
@@ -63,6 +64,7 @@ from repro.query.parser import parse_statement
 from repro.query.planner import (
     candidate_roots,
     candidate_roots_first_match,
+    extract_condition_groups,
     extract_conditions,
 )
 from repro.render import render_table
@@ -151,6 +153,17 @@ class Database:
         #: kept for A/B ablation — see benchmarks/test_ablation_planner.py
         #: and docs/PLANNER.md)
         self.planner_mode = "cost"
+        #: execution engine: ``"compiled"`` (statements compile once into
+        #: Python closures, flat scans batch into columnar chunks, complex
+        #: objects decode lazily — the default; see docs/EXECUTOR.md) or
+        #: ``"interpreted"`` (the row-at-a-time AST walker, kept as the
+        #: byte-identical A/B baseline).  Overridable per process via the
+        #: ``REPRO_EXEC_MODE`` environment variable.
+        self.exec_mode = os.environ.get("REPRO_EXEC_MODE", "compiled")
+        #: bumped by every DDL statement (CREATE/DROP/ALTER TABLE) —
+        #: compiled statement plans are stamped with the epoch they were
+        #: built under and recompile when it moves
+        self.schema_epoch = 0
         #: logical clock for default timestamps on subtuple-versioned tables
         self._clock = 0.0
         #: active transaction (single-user: at most one)
@@ -456,6 +469,7 @@ class Database:
             entry.version_store = VersionStore()
         self._bootstrap_mvcc(entry)
         self.catalog.add_table(entry)
+        self.schema_epoch += 1  # invalidate compiled statement plans
         return schema
 
     def _bootstrap_mvcc(self, entry: TableEntry) -> None:
@@ -482,6 +496,7 @@ class Database:
         self._lock_table(name, LockMode.X)
         with self._wal_scope():
             entry = self.catalog.drop_table(name)
+            self.schema_epoch += 1  # invalidate compiled statement plans
             if self.mvcc is not None and entry.mvcc is not None:
                 self.mvcc.forget_table(entry.mvcc)
 
@@ -612,6 +627,7 @@ class Database:
                 # while the old schema is still installed
                 self._purge_mvcc_history(entry)
             entry.schema = new_schema
+            self.schema_epoch += 1  # invalidate compiled statement plans
             if entry.is_flat:
                 entry.heap.schema = new_schema  # type: ignore[union-attr]
             for row in rows:
@@ -1379,6 +1395,18 @@ class Database:
                     f"  predicate evaluations: {profile.predicate_evals}"
                     f"  join lookups: {profile.join_lookups}"
                 )
+            exec_report = self._executor.exec_report
+            if exec_report is not None:
+                cache = (
+                    f"  plan cache: {exec_report.cache}"
+                    if exec_report.cache is not None
+                    else ""
+                )
+                lines.append(
+                    f"  exec: mode={exec_report.mode}{cache}"
+                    f"  settled conjuncts: {exec_report.settled_conjuncts}"
+                    f"  columnar chunks: {exec_report.columnar_chunks}"
+                )
             plan = self.last_plan
             if plan is not None and plan.used_any:
                 lines.append("planner (analyzed):")
@@ -1522,7 +1550,7 @@ class Database:
         asof: Optional[datetime.date],
         query: ast.Query,
         var: str,
-    ) -> Iterator[TupleValue]:
+    ) -> Iterable[TupleValue]:
         """Stream the tuples of *name* relevant to *query*'s range *var*.
 
         When indexes cover the WHERE clause, candidate roots *stream* out
@@ -1530,16 +1558,27 @@ class Database:
         qualifying tuple is delivered before the last index posting is
         examined (Volcano-style; materialization only happens where the
         cost model intersects posting sets).
+
+        Planning happens *eagerly* — this is a regular function, not a
+        generator — so ``last_plan`` (with its ``sort_elided`` flag and
+        ``settled`` conjunct list) is published before the caller pulls
+        the first row.  The executor shapes its loop around that report
+        once per statement instead of re-reading it per row.
         """
         if is_sys_table(name):
             self.last_plan = None
-            yield from iterate_sys_view(self, name)
-            return
+            return iterate_sys_view(self, name)
         entry = self.catalog.table(name)
         self.last_plan = None
+        lazy = self.exec_mode == "compiled"
         if self.use_access_paths and asof is None and entry.indexes:
             with TRACER.span("plan", table=name, var=var) as span:
-                conditions = extract_conditions(query, var)
+                groups = extract_condition_groups(query, var)
+                conditions = (
+                    None
+                    if groups is None
+                    else [c for group in groups for c in group.conditions]
+                )
                 roots = report = None
                 if conditions:
                     if self.planner_mode == "first-match":
@@ -1551,6 +1590,7 @@ class Database:
                             entry,
                             conditions,
                             order_by=self._order_pushdown_path(query, var),
+                            groups=groups,
                         )
                 if span is not None:
                     span.annotate(
@@ -1571,31 +1611,46 @@ class Database:
                 self.last_plan = report
                 if METRICS.enabled:
                     METRICS.inc("query.index_plans")
-                snapshot = self._read_snapshot(entry)
-                if snapshot is not None:
-                    # lock-free: the index may surface dead or uncommitted
-                    # versions (deindexing is deferred to GC); the snapshot
-                    # visibility probe filters them
-                    for tid in roots:
-                        if _mvcc_read.tid_visible(entry, snapshot, tid):
-                            yield self._fetch(entry, tid)
-                    return
-                self._lock_table(name, LockMode.IS)
-                current = set(entry.tids)
-                for tid in roots:
-                    if tid in current:
-                        # S-lock each candidate object (the paper's local
-                        # address space = one root TID) as it streams out
-                        # of the planner; the wait may block behind a
-                        # writer, so re-check currency afterwards
-                        self._lock_object(name, tid, LockMode.S)
-                        if tid not in entry.tids:
-                            continue
-                        yield self._fetch(entry, tid)
-                return
+                if entry.mvcc is not None or self._session() is not None:
+                    # Index hits may be stale by fetch time (MVCC defers
+                    # deindexing to GC; a 2PL writer can change a row's
+                    # values between our index probe and its S-lock) —
+                    # candidates stay a superset, nothing is settled.
+                    report.settled = []
+                return self._stream_candidates(entry, name, roots, lazy)
         if METRICS.enabled:
             METRICS.inc("query.scan_plans")
-        yield from self.iterate_table(name, asof)
+        return self.iterate_table(name, asof, lazy=lazy)
+
+    def _stream_candidates(
+        self, entry: TableEntry, name: str, roots: Iterable[TID], lazy: bool
+    ) -> Iterator[TupleValue]:
+        """Fetch planner candidates under the session's concurrency regime
+        (MVCC snapshot visibility probe, or per-object 2PL S-locks)."""
+        snapshot = self._read_snapshot(entry)
+        if snapshot is not None:
+            # lock-free: the index may surface dead or uncommitted
+            # versions (deindexing is deferred to GC); the snapshot
+            # visibility probe filters them
+            for tid in roots:
+                if _mvcc_read.tid_visible(entry, snapshot, tid):
+                    yield self._fetch(entry, tid)
+            return
+        self._lock_table(name, LockMode.IS)
+        lazy = (
+            lazy and not entry.is_flat and entry.temporal_manager is None
+        )
+        current = set(entry.tids)
+        for tid in roots:
+            if tid in current:
+                # S-lock each candidate object (the paper's local
+                # address space = one root TID) as it streams out
+                # of the planner; the wait may block behind a
+                # writer, so re-check currency afterwards
+                self._lock_object(name, tid, LockMode.S)
+                if tid not in entry.tids:
+                    continue
+                yield self._fetch(entry, tid, lazy=lazy)
 
     @staticmethod
     def _order_pushdown_path(
@@ -1711,7 +1766,10 @@ class Database:
             yield heap.fetch(tid)
 
     def iterate_table(
-        self, name: str, asof: Optional[datetime.date] = None
+        self,
+        name: str,
+        asof: Optional[datetime.date] = None,
+        lazy: bool = False,
     ) -> Iterator[TupleValue]:
         if is_sys_table(name):
             if asof is not None:
@@ -1740,18 +1798,63 @@ class Database:
                 yield entry.temporal_manager.load_asof(tid, entry.schema, asof)
             return
         current_only = asof is None
+        lazy = (
+            lazy
+            and current_only
+            and not entry.is_flat
+            and entry.temporal_manager is None
+        )
         for tid in self._current_tids(entry, asof):
             self._lock_object(name, tid, LockMode.S)
             if current_only and tid not in entry.tids:
                 continue  # deleted while we waited for the lock
-            yield self._fetch(entry, tid)
+            yield self._fetch(entry, tid, lazy=lazy)
 
-    def _fetch(self, entry: TableEntry, tid: TID) -> TupleValue:
+    def _fetch(
+        self, entry: TableEntry, tid: TID, lazy: bool = False
+    ) -> TupleValue:
         if entry.temporal_manager is not None:
             return entry.temporal_manager.load(tid, entry.schema)
         if entry.is_flat:
             return entry.heap.fetch(tid)  # type: ignore[union-attr]
+        if lazy:
+            # compiled execution: decode the structure (MD subtuples) now,
+            # data subtuples only when a predicate or projection touches
+            # them — index-settled conjuncts never fetch data pages
+            return entry.manager.load_lazy(tid, entry.schema)  # type: ignore[union-attr]
         return entry.manager.load(tid, entry.schema)  # type: ignore[union-attr]
+
+    def scan_chunks(
+        self, name: str, batch: int = 256
+    ) -> Optional[Iterator[tuple[int, dict[str, list]]]]:
+        """Columnar batches of a flat table's current rows, or ``None``
+        when the table shape (or the concurrency regime) wants the
+        row-at-a-time path.
+
+        Each batch is ``(row_count, {attribute: values})`` with rows in
+        insertion (TID-list) order — the same order ``iterate_table``
+        yields, so results stay byte-identical.  Only offered without a
+        session: no locks are taken, which is exactly the single-user
+        statement model the row path has in that case too."""
+        if is_sys_table(name):
+            return None
+        entry = self.catalog.table(name)
+        if (
+            not entry.is_flat
+            or entry.temporal_manager is not None
+            or self._session() is not None
+        ):
+            return None
+        heap = entry.heap
+        assert heap is not None
+        tids = list(entry.tids)
+
+        def chunks() -> Iterator[tuple[int, dict[str, list]]]:
+            for start in range(0, len(tids), batch):
+                part = tids[start : start + batch]
+                yield len(part), heap.fetch_columns(part)
+
+        return chunks()
 
     # ======================================================================
     # Object-level access

@@ -46,6 +46,20 @@ class TupleValue:
     # -- construction --------------------------------------------------------
 
     @classmethod
+    def trusted(cls, schema: TableSchema, values: dict[str, Any]) -> "TupleValue":
+        """Construct without per-attribute validation.
+
+        For engine-internal paths only (the compiled executor's columnar
+        scans and star projections — see ``query/compile.py``): *values*
+        must already be schema-complete and validated, straight from
+        storage decode or from another same-schema tuple.  The dict is
+        adopted, not copied."""
+        self = object.__new__(cls)
+        self.schema = schema
+        self._values = values
+        return self
+
+    @classmethod
     def from_plain(cls, schema: TableSchema, row: PlainRow) -> "TupleValue":
         """Build a tuple from a dict (by attribute name) or a sequence (by
         attribute position); nested subtables are given as lists of rows.

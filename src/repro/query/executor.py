@@ -14,7 +14,10 @@ vacuously true, ``EXISTS`` false.
 from __future__ import annotations
 
 import datetime
+import functools
 import re
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Protocol
 
 from repro.errors import ExecutionError
@@ -55,6 +58,17 @@ class QueryProfile:
         }
 
 
+@dataclass
+class ExecReport:
+    """How the last :meth:`Executor.run` executed — surfaced on the
+    EXPLAIN ANALYZE ``exec:`` line (see docs/EXECUTOR.md)."""
+
+    mode: str  # "compiled" | "interpreted"
+    cache: Optional[str] = None  # "hit" | "miss" | None (interpreted)
+    settled_conjuncts: int = 0  # WHERE conjuncts skipped (index-settled)
+    columnar_chunks: int = 0  # columnar batches consumed
+
+
 class TableProvider(SchemaProvider, Protocol):
     """What the executor needs from the database."""
 
@@ -76,29 +90,70 @@ class TableProvider(SchemaProvider, Protocol):
         ...
 
 
+#: compiled statement plans kept per executor (hot statements re-run
+#: constantly on a server; the cache is bounded, LRU-evicted)
+_COMPILED_CACHE_LIMIT = 256
+#: bound schemas kept before LRU eviction kicks in
+_SCHEMA_CACHE_LIMIT = 1024
+
+
 class Executor:
     def __init__(self, provider: TableProvider):
         self._provider = provider
         self._binder = Binder(provider)
         # id(query) -> (query, schema); the strong reference to the query
-        # node prevents id() reuse after garbage collection.
-        self._schema_cache: dict[int, tuple[ast.Query, TableSchema]] = {}
+        # node prevents id() reuse after garbage collection.  LRU order:
+        # hot entries move to the back, eviction pops the front.
+        self._schema_cache: OrderedDict[int, tuple[ast.Query, TableSchema]] = (
+            OrderedDict()
+        )
+        # statement fingerprint (the hashable Query AST) -> (schema epoch,
+        # CompiledQuery or None for statements the compiler declined)
+        self._compiled_cache: OrderedDict[ast.Query, tuple[int, Any]] = (
+            OrderedDict()
+        )
         #: the profile of the most recent profiled run (None if the last
         #: run happened with observability off)
         self.last_profile: Optional[QueryProfile] = None
+        #: how the most recent run executed (mode, cache hit, settled
+        #: conjuncts, columnar chunks) — feeds EXPLAIN ANALYZE
+        self.exec_report: Optional[ExecReport] = None
         self._profile: Optional[QueryProfile] = None
+        self._cache_state: Optional[str] = None
 
     # -- public ------------------------------------------------------------------
 
     def run(self, query: ast.Query) -> TableValue:
-        """Execute a query; returns its (possibly nested) result table."""
+        """Execute a query; returns its (possibly nested) result table.
+
+        When the provider's ``exec_mode`` is ``"compiled"`` the statement
+        is compiled once into Python closures (keyed by its AST
+        fingerprint — see :mod:`repro.query.compile`) and re-executed
+        from the cache; otherwise the interpreted AST walker runs."""
+        compiled = None
+        self._cache_state = None
+        mode = getattr(self._provider, "exec_mode", "interpreted")
         with TRACER.span("bind"):
-            schema = self._result_schema(query, Scope())
+            if mode == "compiled":
+                compiled = self._compiled(query)
+            schema = (
+                compiled.schema
+                if compiled is not None
+                else self._result_schema(query, Scope())
+            )
         profile = QueryProfile() if (METRICS.enabled or TRACER.enabled) else None
         self._profile = profile
+        report = ExecReport(
+            mode="compiled" if compiled is not None else "interpreted",
+            cache=self._cache_state,
+        )
+        self.exec_report = report
         try:
             with TRACER.span("execute") as span:
-                result = self._execute(query, schema, env={}, is_top=True)
+                if compiled is not None:
+                    result = compiled.execute(self, {}, is_top=True)
+                else:
+                    result = self._execute(query, schema, env={}, is_top=True)
                 if span is not None and profile is not None:
                     span.annotate(**profile.snapshot())
         finally:
@@ -110,18 +165,66 @@ class Executor:
                 METRICS.inc("query.rows_emitted", profile.rows_emitted)
                 METRICS.inc("query.predicate_evals", profile.predicate_evals)
                 METRICS.inc("query.join_lookups", profile.join_lookups)
+                if compiled is not None:
+                    METRICS.inc("exec.compiled_evals", profile.predicate_evals)
+                if report.settled_conjuncts:
+                    METRICS.inc("exec.settled_conjuncts", report.settled_conjuncts)
+                if report.columnar_chunks:
+                    METRICS.inc("exec.columnar_chunks", report.columnar_chunks)
         return result
+
+    def _compiled(self, query: ast.Query) -> Optional[Any]:
+        """The statement's compiled plan, from the fingerprint cache when
+        its schema epoch still matches; ``None`` when the statement shape
+        is one the compiler declines (the interpreter runs instead)."""
+        from repro.query.compile import CompileError, compile_query
+
+        epoch = getattr(self._provider, "schema_epoch", 0)
+        cache = self._compiled_cache
+        try:
+            entry = cache.get(query)
+        except TypeError:  # unhashable literal somewhere in the AST
+            try:
+                return compile_query(self, query)
+            except CompileError:
+                return None
+        if entry is not None and entry[0] == epoch:
+            cache.move_to_end(query)
+            self._cache_state = "hit"
+            if METRICS.enabled:
+                METRICS.inc("exec.compile_hits")
+            return entry[1]
+        try:
+            plan = compile_query(self, query)
+        except CompileError:
+            plan = None
+        self._cache_state = "miss"
+        if METRICS.enabled:
+            METRICS.inc("exec.compiles")
+            if plan is None:
+                METRICS.inc("exec.compile_fallbacks")
+        cache[query] = (epoch, plan)
+        cache.move_to_end(query)
+        while len(cache) > _COMPILED_CACHE_LIMIT:
+            cache.popitem(last=False)
+        return plan
 
     # -- schemas -----------------------------------------------------------------
 
     def _result_schema(self, query: ast.Query, scope: Scope) -> TableSchema:
-        entry = self._schema_cache.get(id(query))
+        cache = self._schema_cache
+        entry = cache.get(id(query))
         if entry is not None and entry[0] is query:
+            cache.move_to_end(id(query))
             return entry[1]
         schema = self._binder.bind_query(query, scope)
-        if len(self._schema_cache) > 1024:
-            self._schema_cache.clear()
-        self._schema_cache[id(query)] = (query, schema)
+        cache[id(query)] = (query, schema)
+        if len(cache) > _SCHEMA_CACHE_LIMIT:
+            # evict the least-recently-used binding only — a wholesale
+            # clear() here caused a full rebind storm on mixed workloads
+            cache.popitem(last=False)
+            if METRICS.enabled:
+                METRICS.inc("exec.schema_cache_evictions")
         return schema
 
     # -- query evaluation -----------------------------------------------------------
@@ -135,6 +238,31 @@ class Executor:
     ) -> TableValue:
         result = TableValue(schema)
         sort_keys: list[tuple] = []
+        ranges = list(query.ranges)
+        prefetched: Optional[Iterable[TupleValue]] = None
+        sort_elided = False
+        if is_top and ranges:
+            # The top-level first range is the one planned through
+            # :meth:`TableProvider.iterate_table_for_query`.  The provider
+            # plans *eagerly* — ``last_plan`` (including its
+            # ``sort_elided`` flag) is published when the iterator is
+            # created, before any row streams out — so elision is decided
+            # once, here, instead of per row in ``emit`` plus an
+            # after-the-fact ``last_plan`` read.
+            head = ranges[0]
+            prefetched = self._iterate_source(
+                head.source,
+                env,
+                head.var,
+                planner_query=query,
+                where=query.where,
+            )
+            if query.order_by:
+                plan = getattr(self._provider, "last_plan", None)
+                sort_elided = plan is not None and getattr(
+                    plan, "sort_elided", False
+                )
+        collect_keys = bool(query.order_by) and not sort_elided
 
         def emit(bound_env: dict[str, TupleValue]) -> None:
             profile = self._profile
@@ -146,7 +274,7 @@ class Executor:
             if profile is not None and is_top:
                 profile.rows_emitted += 1
             result.rows.append(self._project(query, schema, bound_env))
-            if query.order_by:
+            if collect_keys:
                 sort_keys.append(
                     tuple(
                         _sortable(
@@ -158,9 +286,9 @@ class Executor:
                     )
                 )
 
-        self._loop_ranges(query, list(query.ranges), env, emit, is_top)
+        self._loop_ranges(query, ranges, env, emit, is_top, prefetched)
         if query.order_by:
-            if is_top and self._sort_elided():
+            if sort_elided:
                 # The access path already emitted candidates in index-key
                 # order matching the (single, ascending) ORDER BY — the
                 # final sort is skipped (Volcano-style interesting-order
@@ -187,19 +315,6 @@ class Executor:
             result.rows = unique
         return result
 
-    def _sort_elided(self) -> bool:
-        """Did the access path already emit rows in ORDER BY order?
-
-        The planner marks single-index plans whose B+-tree key order
-        matches the query's (single, ascending) ORDER BY; the provider
-        surfaces that decision as ``last_plan.sort_elided``.  Only
-        meaningful for the top-level query — its first range is the only
-        one planned through :meth:`TableProvider.iterate_table_for_query`,
-        which refreshes ``last_plan`` before emitting any row.
-        """
-        plan = getattr(self._provider, "last_plan", None)
-        return plan is not None and getattr(plan, "sort_elided", False)
-
     def _loop_ranges(
         self,
         query: ast.Query,
@@ -207,19 +322,22 @@ class Executor:
         env: dict[str, TupleValue],
         emit: Callable[[dict[str, TupleValue]], None],
         is_top: bool,
+        prefetched: Optional[Iterable[TupleValue]] = None,
     ) -> None:
         if not ranges:
             emit(env)
             return
         head, tail = ranges[0], ranges[1:]
-        first = is_top and head is query.ranges[0]
-        source_rows = self._iterate_source(
-            head.source,
-            env,
-            head.var,
-            planner_query=query if first else None,
-            where=query.where,
-        )
+        if prefetched is not None:
+            source_rows = prefetched
+        else:
+            source_rows = self._iterate_source(
+                head.source,
+                env,
+                head.var,
+                planner_query=None,
+                where=query.where,
+            )
         profile = self._profile
         for row in source_rows:
             if profile is not None:
@@ -541,7 +659,10 @@ def masked_match(pattern: str, text: Any) -> bool:
     return regex.search(text) is not None
 
 
+@functools.lru_cache(maxsize=512)
 def _compile_mask(pattern: str) -> "re.Pattern[str]":
+    # cached: a CONTAINS over N rows compiles its mask once, not N times
+    # (the cache also serves the planner / text-index masked_match paths)
     parts = []
     for char in pattern:
         if char == "*":
@@ -619,8 +740,6 @@ def _sortable(value: Any) -> tuple:
     ``(4, ordinal, 0.0)`` so dates and timestamps stay mutually
     comparable (a bare date sorts as that day's midnight).
     """
-    import datetime
-
     if value is None:
         return (0, 0)
     if isinstance(value, bool):

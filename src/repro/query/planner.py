@@ -63,21 +63,106 @@ class IndexCondition:
         return len(self.attribute_path) - 1
 
 
+@dataclass(frozen=True)
+class ConditionGroup:
+    """One top-level WHERE conjunct with its extracted index conditions.
+
+    ``exact`` marks a *lossless* decomposition: the candidate roots
+    implied by the conditions are exactly the roots satisfying the
+    conjunct — not merely a superset.  A plan that probes indexes for
+    every condition of an exact group *settles* the conjunct on index
+    information alone (Section 4.2): the executor can skip re-verifying
+    it against decoded data subtuples.  CONTAINS narrows to a superset
+    (word fragments), and IS NULL / OR / NOT / ALL / subscripted paths
+    are not extracted at all, so none of those are ever exact.
+    """
+
+    predicate: ast.Predicate
+    conditions: tuple[IndexCondition, ...]
+    exact: bool
+
+
 def extract_conditions(query: ast.Query, var: str) -> Optional[list[IndexCondition]]:
     """Index-answerable conjuncts of the WHERE clause, anchored at *var*.
 
     Returns ``None`` if the clause's top level is not a conjunction we can
     partially cover (e.g. an OR) — callers then scan.
     """
+    groups = extract_condition_groups(query, var)
+    if groups is None:
+        return None
+    return [condition for group in groups for condition in group.conditions]
+
+
+def extract_condition_groups(
+    query: ast.Query, var: str
+) -> Optional[list[ConditionGroup]]:
+    """Like :func:`extract_conditions`, but grouped per top-level WHERE
+    conjunct and annotated with exactness (see :class:`ConditionGroup`)."""
     if query.where is None:
         return []
     conjuncts = _flatten_and(query.where)
     if conjuncts is None:
         return None
-    conditions: list[IndexCondition] = []
+    groups: list[ConditionGroup] = []
     for conjunct in conjuncts:
-        conditions.extend(_conditions_of(conjunct, var, prefix=(), binding=()))
-    return conditions
+        exact = _exact_conditions(conjunct, var, prefix=(), binding=())
+        if exact is not None:
+            groups.append(ConditionGroup(conjunct, tuple(exact), True))
+        else:
+            loose = _conditions_of(conjunct, var, prefix=(), binding=())
+            groups.append(ConditionGroup(conjunct, tuple(loose), False))
+    return groups
+
+
+def _exact_conditions(
+    predicate: ast.Predicate,
+    var: str,
+    prefix: tuple[str, ...],
+    binding: tuple[str, ...],
+) -> Optional[list[IndexCondition]]:
+    """The conditions of one conjunct when — and only when — the conjunct
+    decomposes *losslessly* into index conditions; ``None`` otherwise.
+
+    Lossless shapes: an eq/range comparison between a plain single-step
+    attribute path and a non-NULL literal, and an EXISTS quantifier over
+    a subtable path whose body is itself a lossless conjunction.  Any
+    other shape (CONTAINS, IS NULL, OR, NOT, ALL, expression operands)
+    means index hits only bound the answer from above."""
+    if isinstance(predicate, ast.Comparison):
+        condition = _comparison_condition(predicate, var, prefix, binding)
+        if condition is None:
+            return None
+        bound = condition.value if condition.kind == "eq" else condition.value[1]
+        if isinstance(bound, bool):
+            # a B+-tree probe would equate True with 1; compare() never
+            # does — keep boolean literals out of exact settlement
+            return None
+        return [condition]
+    if isinstance(predicate, ast.Quantifier) and predicate.kind == "EXISTS":
+        source = predicate.source
+        if not (
+            source.path is not None
+            and source.path.var == var
+            and not source.path.has_subscript
+            and len(source.path.attribute_names) >= 1
+        ):
+            return None
+        new_prefix = prefix + source.path.attribute_names
+        # the same per-instance binding key _conditions_of uses — the two
+        # extractions must agree for prefix-join bookkeeping to line up
+        new_binding = binding + (f"{predicate.var}#{id(predicate)}",)
+        inner = _flatten_and(predicate.body)
+        if inner is None:
+            return None
+        out: list[IndexCondition] = []
+        for conjunct in inner:
+            sub = _exact_conditions(conjunct, predicate.var, new_prefix, new_binding)
+            if sub is None:
+                return None
+            out.extend(sub)
+        return out
+    return None
 
 
 def _flatten_and(predicate: ast.Predicate) -> Optional[list[ast.Predicate]]:
@@ -242,6 +327,11 @@ class PlanReport:
     #: the chosen index yields rows in ORDER BY order; the executor may
     #: skip the final sort
     sort_elided: bool = False
+    #: WHERE conjuncts (AST nodes) this plan settles on index information
+    #: alone — every candidate root satisfies them, so the executor may
+    #: skip re-evaluating them (the provider strips this list whenever
+    #: deferred deindexing or concurrent writers could leave stale hits)
+    settled: list = field(default_factory=list)
 
     @property
     def used_any(self) -> bool:
@@ -320,6 +410,7 @@ def candidate_roots(
     entry: TableEntry,
     conditions: list[IndexCondition],
     order_by: Optional[tuple[str, ...]] = None,
+    groups: Optional[list[ConditionGroup]] = None,
 ) -> tuple[Optional[Iterator[TID]], PlanReport]:
     """Object roots that can possibly satisfy the indexed conditions.
 
@@ -334,6 +425,11 @@ def candidate_roots(
     rows ordered by (ascending).  A single-index plan on exactly that
     attribute emits candidates in index-key order and sets
     ``report.sort_elided``.
+
+    *groups*, when given, lets the planner report which WHERE conjuncts
+    the plan *settles* (``report.settled``): for an exact group whose
+    conditions all won index probes, every streamed candidate provably
+    satisfies the conjunct, so the executor can skip re-testing it.
     """
     choices, considered = choose_indexes(entry, conditions)
     report = PlanReport(used_indexes=[c.name for c in choices])
@@ -341,6 +437,10 @@ def candidate_roots(
     if not choices:
         return None, report
     report.estimated_candidates = min(c.estimate for c in choices)
+    if groups:
+        report.settled = _settled_conjuncts(groups, choices)
+        if METRICS.enabled and report.settled:
+            METRICS.inc("planner.conjuncts_settled", len(report.settled))
     if METRICS.enabled:
         METRICS.inc("planner.indexes_considered", len(considered))
         METRICS.inc("planner.indexes_chosen", len(choices))
@@ -354,6 +454,42 @@ def candidate_roots(
         report.sort_elided = True
         return _stream_key_order(choices[0], report), report
     return _stream_intersection(choices, report), report
+
+
+def _settled_conjuncts(
+    groups: list[ConditionGroup], choices: list[IndexChoice]
+) -> list:
+    """Conjunct AST nodes the chosen plan answers *exactly*.
+
+    A group settles when its decomposition was lossless and every one of
+    its conditions won an index:
+
+    * one condition — any eq/range probe is exact for that conjunct
+      (ROOT_TID and flat hits *are* the satisfying roots);
+    * two conditions — only when both chose HIERARCHICAL indexes with a
+      shared binding prefix: the pairwise prefix join then proves both
+      hits land in the same subobject (the paper's ``P2 = F2``), which
+      is precisely the conjunct's semantics;
+    * three or more — never: pairwise prefix joins do not imply a single
+      element satisfying all conditions jointly.
+    """
+    by_condition = {id(choice.condition): choice for choice in choices}
+    settled: list = []
+    for group in groups:
+        if not group.exact or not group.conditions:
+            continue
+        chosen = [by_condition.get(id(c)) for c in group.conditions]
+        if any(c is None for c in chosen):
+            continue
+        if len(chosen) == 1:
+            settled.append(group.predicate)
+        elif len(chosen) == 2 and all(c.hierarchical for c in chosen):
+            shared = _shared_binding(
+                chosen[0].condition.binding, chosen[1].condition.binding
+            )
+            if shared > 0:
+                settled.append(group.predicate)
+    return settled
 
 
 def _stream_key_order(choice: IndexChoice, report: PlanReport) -> Iterator[TID]:

@@ -178,6 +178,16 @@ class ComplexObjectManager:
         """Materialize the whole complex object."""
         return self.open(root_tid, schema).materialize()
 
+    def load_lazy(self, root_tid: TID, schema: TableSchema) -> TupleValue:
+        """Open the object and wrap it as a tuple that decodes data
+        subtuples on first access (root atomics as one read, each
+        first-level subtable on demand) — see ``storage/lazy.py``."""
+        from repro.storage.lazy import LazyTupleValue
+
+        if METRICS.enabled:
+            METRICS.inc("exec.lazy_rows")
+        return LazyTupleValue(self.open(root_tid, schema))
+
     # ----------------------------------------------------------------- delete
 
     def delete(self, root_tid: TID, schema: TableSchema) -> None:
