@@ -27,6 +27,7 @@ import os
 import threading
 import time
 import weakref
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
@@ -105,8 +106,20 @@ class Database:
         pagedfile=None,
         wal_io=None,
         mvcc: bool = False,
+        read_only: bool = False,
     ):
         self._path = path
+        #: read-only mode: every mutation path is rejected (replicas open
+        #: this way and redo shipped WAL batches through the apply
+        #: context instead — see docs/REPLICATION.md)
+        self.read_only = read_only
+        #: thread-local flag set by replica apply while it installs a
+        #: shipped batch — the only writer a read-only database admits
+        self._apply_ctx = threading.local()
+        #: replication role state: a ReplicationHub when this database
+        #: ships its WAL to replicas, a ReplicaState when it tails a
+        #: primary, None otherwise (SYS.REPLICAS / SYS.WAL read it)
+        self.replication = None
         #: thread-local engine state: per-thread executor + last_plan (so
         #: concurrent sessions don't trample each other's run state) and
         #: the current Session driving this thread, if any
@@ -126,6 +139,12 @@ class Database:
         #: serializes mutation scopes against each other and against
         #: checkpoints (a latch, not a lock: never held across lock waits)
         self._write_latch = threading.RLock()
+        #: bounded text -> parsed-statement cache; ASTs are immutable and
+        #: already shared across threads through the compiled-plan cache,
+        #: so repeated statements (pipelined clients, benchmarks) skip
+        #: the parser entirely
+        self._parse_cache: "OrderedDict[str, ast.Statement]" = OrderedDict()
+        self._parse_cache_latch = threading.Lock()
         if pagedfile is not None:
             self._file = pagedfile
         else:
@@ -179,7 +198,14 @@ class Database:
             if self.last_recovery is not None
             else None
         )
-        self._load_catalog(recovered_state)
+        # catalog restore rebuilds indexes through the normal write paths;
+        # on a read-only replica those are gated, so run the restore under
+        # the apply context (it is a replay, not a user mutation)
+        self._apply_ctx.active = True
+        try:
+            self._load_catalog(recovered_state)
+        finally:
+            self._apply_ctx.active = False
         if wal_enabled:
             from repro.wal.manager import WalManager
 
@@ -284,6 +310,7 @@ class Database:
         rollback is table-granular), ``IX`` for autocommit statements
         (object ``X`` locks follow per touched object).  Then the
         single-user transaction bookkeeping runs exactly as before."""
+        self._check_writable()
         session = self._session()
         if session is not None:
             session._before_write()
@@ -294,6 +321,18 @@ class Database:
         if self._active_txn is not None:
             self._txn_guard(entry)
             self._active_txn.touch(entry.name)
+
+    def _check_writable(self) -> None:
+        """Reject mutations on a read-only replica.  The replica's apply
+        thread (installing a shipped commit batch) sets the thread-local
+        apply context and passes; everything else must write on the
+        primary — or PROMOTE this database first."""
+        if self.read_only and not getattr(self._apply_ctx, "active", False):
+            raise ExecutionError(
+                "read-only replica: this database tails a primary's WAL; "
+                "run writes on the primary, or PROMOTE the replica to "
+                "take over"
+            )
 
     # ======================================================================
     # Durability (WAL commit scope + checkpointing)
@@ -318,6 +357,7 @@ class Database:
         threads and checkpoints.  The latch is re-entrant, so nested
         scopes and auto-checkpoints ride through.
         """
+        self._check_writable()
         session = self._session()
         if session is not None:
             session._before_write()
@@ -506,8 +546,16 @@ class Database:
         table: str,
         attribute_path: Union[str, tuple[str, ...]],
         mode: AddressingMode = AddressingMode.HIERARCHICAL,
+        current_only: bool = False,
     ) -> None:
-        """Create a value index; existing rows are indexed immediately."""
+        """Create a value index; existing rows are indexed immediately.
+
+        *current_only* restricts the flat build to the table's current
+        TID list instead of a full heap scan.  Replica apply needs this:
+        a primary running MVCC leaves dead (superseded) versions in the
+        heap until GC, and the non-MVCC replica has no visibility filter
+        to screen them out of a scan-built index.
+        """
         self._reject_sys_write(table)
         entry = self.catalog.table(table)
         path = _as_path(attribute_path)
@@ -518,7 +566,13 @@ class Database:
             if entry.is_flat:
                 index: Union[FlatIndex, NF2Index] = FlatIndex(definition)
                 self.catalog.add_index(table, name, index)
-                for tid, row in entry.heap.scan():  # type: ignore[union-attr]
+                heap = entry.heap
+                rows = (
+                    ((tid, heap.fetch(tid)) for tid in entry.tids)  # type: ignore[union-attr]
+                    if current_only
+                    else heap.scan()  # type: ignore[union-attr]
+                )
+                for tid, row in rows:
                     index.index_row(tid, row[path[0]])
             else:
                 index = NF2Index(definition)
@@ -1018,7 +1072,7 @@ class Database:
         ``EXPLAIN [ANALYZE]`` returns the rendered plan text."""
         parse_start = time.perf_counter()
         WAITS.begin_statement()
-        statement = parse_statement(text)
+        statement = self._parse_cached(text)
         parse_end = time.perf_counter()
         parse_ms = (parse_end - parse_start) * 1000.0
         before = METRICS.totals() if METRICS.enabled else None
@@ -1060,6 +1114,33 @@ class Database:
                 waits=WAITS.take_statement(),
                 trace_id=trace.trace_id if trace is not None else None,
             )
+
+    _PARSE_CACHE_LIMIT = 512
+
+    def _parse_cached(self, text: str) -> ast.Statement:
+        """Parse *text*, reusing the AST of a recently seen statement.
+
+        Parsing is pure and ASTs are never mutated after construction
+        (the compiled-plan cache already shares them across sessions), so
+        a byte-identical statement can skip the lexer/parser.  EXPLAIN is
+        re-parsed every time: its rendered plan embeds parse timing.
+        """
+        with self._parse_cache_latch:
+            statement = self._parse_cache.get(text)
+            if statement is not None:
+                self._parse_cache.move_to_end(text)
+                if METRICS.enabled:
+                    METRICS.inc("exec.parse_hits")
+                return statement
+        statement = parse_statement(text)
+        if isinstance(statement, ast.ExplainStatement):
+            return statement
+        with self._parse_cache_latch:
+            self._parse_cache[text] = statement
+            self._parse_cache.move_to_end(text)
+            while len(self._parse_cache) > self._PARSE_CACHE_LIMIT:
+                self._parse_cache.popitem(last=False)
+        return statement
 
     def _record_statement(
         self,
@@ -2229,59 +2310,71 @@ class Database:
                 return
             with open(path) as handle:
                 state = json.load(handle)
+        for table_state in state["tables"]:
+            self._restore_table_entry(table_state)
+
+    def _restore_table_entry(
+        self, table_state: dict, current_only: bool = False
+    ) -> TableEntry:
+        """Rebuild one catalog entry (and its indexes) from its serialized
+        state.  Called per table on open, and by replica apply
+        (:mod:`repro.replication`) to install shipped catalog changes —
+        the latter passes *current_only* so flat index builds skip the
+        primary's dead MVCC versions (see :meth:`create_index`)."""
         from repro.model.ddl import parse_create_table
         from repro.storage.segment import Segment as _Segment
 
-        for table_state in state["tables"]:
-            schema = parse_create_table(table_state["ddl"])
-            segment = _Segment.restore(self.buffer, table_state["segment"])
-            versioning = table_state.get("versioning")
-            entry = TableEntry(
-                schema=schema, segment=segment,
-                versioned=table_state["versioned"],
-                versioning=versioning,
-            )
-            if versioning == "subtuple":
-                from repro.temporal.subtuple_versions import TemporalObjectManager
+        schema = parse_create_table(table_state["ddl"])
+        segment = _Segment.restore(self.buffer, table_state["segment"])
+        versioning = table_state.get("versioning")
+        entry = TableEntry(
+            schema=schema, segment=segment,
+            versioned=table_state["versioned"],
+            versioning=versioning,
+        )
+        if versioning == "subtuple":
+            from repro.temporal.subtuple_versions import TemporalObjectManager
 
-                entry.temporal_manager = TemporalObjectManager(
-                    segment, self.structure
+            entry.temporal_manager = TemporalObjectManager(
+                segment, self.structure
+            )
+            entry.manager = entry.temporal_manager._base
+        elif schema.is_flat:
+            entry.heap = HeapFile(segment, schema)
+        else:
+            entry.manager = ComplexObjectManager(segment, self.structure)
+        entry.tids = [TID(*pair) for pair in table_state["tids"]]
+        entry.history_tids = [
+            TID(*pair) for pair in table_state.get("history_tids", [])
+        ]
+        entry.timestamp_axis = table_state.get("timestamp_axis")
+        if table_state["version_store"] is not None:
+            entry.version_store = VersionStore.restore(
+                table_state["version_store"]
+            )
+            entry.object_ids = {
+                TID(*tid): oid for tid, oid in table_state["object_ids"]
+            }
+        # orphan sweep + MVCC bootstrap must run before the index
+        # rebuild below — it scans the heap and would index orphans
+        self._sweep_entry_orphans(entry)
+        self._bootstrap_mvcc(entry)
+        self.catalog.add_table(entry)
+        for index_state in table_state["indexes"]:
+            if index_state["text"]:
+                self.create_text_index(
+                    index_state["name"], schema.name,
+                    tuple(index_state["path"]),
+                    fragment_length=index_state["fragment_length"] or 3,
                 )
-                entry.manager = entry.temporal_manager._base
-            elif schema.is_flat:
-                entry.heap = HeapFile(segment, schema)
             else:
-                entry.manager = ComplexObjectManager(segment, self.structure)
-            entry.tids = [TID(*pair) for pair in table_state["tids"]]
-            entry.history_tids = [
-                TID(*pair) for pair in table_state.get("history_tids", [])
-            ]
-            entry.timestamp_axis = table_state.get("timestamp_axis")
-            if table_state["version_store"] is not None:
-                entry.version_store = VersionStore.restore(
-                    table_state["version_store"]
+                self.create_index(
+                    index_state["name"], schema.name,
+                    tuple(index_state["path"]),
+                    mode=AddressingMode(index_state["mode"]),
+                    current_only=current_only,
                 )
-                entry.object_ids = {
-                    TID(*tid): oid for tid, oid in table_state["object_ids"]
-                }
-            # orphan sweep + MVCC bootstrap must run before the index
-            # rebuild below — it scans the heap and would index orphans
-            self._sweep_entry_orphans(entry)
-            self._bootstrap_mvcc(entry)
-            self.catalog.add_table(entry)
-            for index_state in table_state["indexes"]:
-                if index_state["text"]:
-                    self.create_text_index(
-                        index_state["name"], schema.name,
-                        tuple(index_state["path"]),
-                        fragment_length=index_state["fragment_length"] or 3,
-                    )
-                else:
-                    self.create_index(
-                        index_state["name"], schema.name,
-                        tuple(index_state["path"]),
-                        mode=AddressingMode(index_state["mode"]),
-                    )
+        return entry
 
     def _sweep_entry_orphans(self, entry: TableEntry) -> None:
         """Reclaim flat-heap records left by MVCC versions whose GC never
@@ -2311,6 +2404,9 @@ class Database:
 
     def close(self) -> None:
         self.ash.stop()
+        if self.replication is not None:
+            self.replication.shutdown()
+            self.replication = None
         if self.mvcc is not None:
             with self._write_latch:
                 # final GC drain: no snapshots survive close, so every

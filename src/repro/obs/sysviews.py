@@ -16,8 +16,13 @@ Views (query them like any table, e.g. ``FROM m IN SYS.METRICS``):
                           subtable and, for histograms, a ``BUCKETS`` list
 ``SYS.SESSIONS``          the sessions currently registered on the database
 ``SYS.LOCKS``             every lock grant and waiter in the lock manager
-``SYS.WAL``               one row of write-ahead-log statistics (zero rows
-                          for in-memory / ``wal=False`` databases)
+``SYS.WAL``               one row of write-ahead-log statistics, including
+                          the replication role and shipped/applied batch
+                          sequence + lag (zero rows for in-memory /
+                          ``wal=False`` databases that are not replicas)
+``SYS.REPLICAS``          replication links: on a primary one row per
+                          attached replica (shipped vs acked sequence,
+                          lag); on a replica one row for its upstream
 ``SYS.TABLES``            the user catalog: kind, cardinality, nesting depth
 ``SYS.INDEXES``           index definitions + cost-model statistics
 ``SYS.QUERIES``           the ring of recently finished statements, with
@@ -60,6 +65,7 @@ SYS_VIEW_NAMES = (
     "SESSIONS",
     "LOCKS",
     "WAL",
+    "REPLICAS",
     "TABLES",
     "INDEXES",
     "QUERIES",
@@ -155,6 +161,26 @@ WAL_SCHEMA = table(
     atomic("CHECKPOINTS", "INT"),
     atomic("IN_TXN", "BOOL"),
     atomic("UNLOGGED_DIRTY_PAGES", "INT"),
+    # log-shipping fields (see repro.replication / docs/REPLICATION.md)
+    atomic("ROLE", "STRING"),               # standalone | primary | replica
+    atomic("SHIPPED_SEQ", "INT"),           # newest commit batch shipped/seen
+    atomic("APPLIED_SEQ", "INT"),           # oldest replica ack / local apply
+    atomic("REPLICA_LAG", "INT"),           # batches shipped but unapplied
+    atomic("REPLICAS", "INT"),              # attached replica links
+)
+
+REPLICAS_SCHEMA = table(
+    "SYS_REPLICAS",
+    atomic("ROLE", "STRING"),       # downstream (primary's view) | upstream
+    atomic("PEER", "STRING"),       # replica address / primary host:port
+    atomic("STATE", "STRING"),      # streaming|dead / tailing|disconnected|promoted
+    atomic("CONNECTED_AT", "FLOAT"),
+    atomic("SHIPPED_SEQ", "INT"),
+    atomic("APPLIED_SEQ", "INT"),
+    atomic("LAG", "INT"),
+    atomic("BATCHES", "INT"),
+    atomic("PAGES", "INT"),
+    atomic("BYTES", "INT"),
 )
 
 TABLES_SCHEMA = table(
@@ -272,6 +298,7 @@ _SCHEMAS: dict[str, TableSchema] = {
     "SESSIONS": SESSIONS_SCHEMA,
     "LOCKS": LOCKS_SCHEMA,
     "WAL": WAL_SCHEMA,
+    "REPLICAS": REPLICAS_SCHEMA,
     "TABLES": TABLES_SCHEMA,
     "INDEXES": INDEXES_SCHEMA,
     "QUERIES": QUERIES_SCHEMA,
@@ -405,23 +432,56 @@ def _lock_rows(db: "Database") -> Iterator[dict]:
 
 
 def _wal_rows(db: "Database") -> Iterator[dict]:
-    if db.wal is None:
+    # a replica has no WAL of its own (shipped images *are* its log) but
+    # still reports one row carrying the replication role + lag fields
+    if db.wal is None and db.replication is None:
         return
-    stats = db.wal.stats()
-    yield {
-        "PATH": str(stats["path"]),
-        "SIZE_BYTES": stats["size_bytes"],
-        "BYTES_SINCE_CHECKPOINT": stats["bytes_since_checkpoint"],
-        "AUTO_CHECKPOINT_BYTES": stats["auto_checkpoint_bytes"],
-        "RECORDS_APPENDED": stats["records_appended"],
-        "BYTES_APPENDED": stats["bytes_appended"],
-        "FSYNCS": stats["fsyncs"],
-        "COMMITS": stats["commits"],
-        "ABORTS": stats["aborts"],
-        "CHECKPOINTS": stats["checkpoints"],
-        "IN_TXN": bool(stats["in_txn"]),
-        "UNLOGGED_DIRTY_PAGES": stats["unlogged_dirty_pages"],
+    row: dict = {
+        "PATH": None,
+        "SIZE_BYTES": None,
+        "BYTES_SINCE_CHECKPOINT": None,
+        "AUTO_CHECKPOINT_BYTES": None,
+        "RECORDS_APPENDED": None,
+        "BYTES_APPENDED": None,
+        "FSYNCS": None,
+        "COMMITS": None,
+        "ABORTS": None,
+        "CHECKPOINTS": None,
+        "IN_TXN": None,
+        "UNLOGGED_DIRTY_PAGES": None,
+        "ROLE": "standalone",
+        "SHIPPED_SEQ": None,
+        "APPLIED_SEQ": None,
+        "REPLICA_LAG": None,
+        "REPLICAS": 0,
     }
+    if db.wal is not None:
+        stats = db.wal.stats()
+        row.update(
+            PATH=str(stats["path"]),
+            SIZE_BYTES=stats["size_bytes"],
+            BYTES_SINCE_CHECKPOINT=stats["bytes_since_checkpoint"],
+            AUTO_CHECKPOINT_BYTES=stats["auto_checkpoint_bytes"],
+            RECORDS_APPENDED=stats["records_appended"],
+            BYTES_APPENDED=stats["bytes_appended"],
+            FSYNCS=stats["fsyncs"],
+            COMMITS=stats["commits"],
+            ABORTS=stats["aborts"],
+            CHECKPOINTS=stats["checkpoints"],
+            IN_TXN=bool(stats["in_txn"]),
+            UNLOGGED_DIRTY_PAGES=stats["unlogged_dirty_pages"],
+        )
+    if db.replication is not None:
+        row.update(db.replication.wal_row_fields())
+    yield row
+
+
+def _replica_rows(db: "Database") -> Iterator[dict]:
+    repl = db.replication
+    if repl is None:
+        return
+    for row in repl.replica_rows():
+        yield {**row, "CONNECTED_AT": _float(row.get("CONNECTED_AT"))}
 
 
 def _table_rows(db: "Database") -> Iterator[dict]:
@@ -578,6 +638,7 @@ _PRODUCERS = {
     "SESSIONS": _session_rows,
     "LOCKS": _lock_rows,
     "WAL": _wal_rows,
+    "REPLICAS": _replica_rows,
     "TABLES": _table_rows,
     "INDEXES": _index_rows,
     "QUERIES": _query_rows,

@@ -101,12 +101,12 @@ class Executor:
     def __init__(self, provider: TableProvider):
         self._provider = provider
         self._binder = Binder(provider)
-        # id(query) -> (query, schema); the strong reference to the query
-        # node prevents id() reuse after garbage collection.  LRU order:
-        # hot entries move to the back, eviction pops the front.
-        self._schema_cache: OrderedDict[int, tuple[ast.Query, TableSchema]] = (
-            OrderedDict()
-        )
+        # id(query) -> (query, schema, schema epoch); the strong reference
+        # to the query node prevents id() reuse after garbage collection.
+        # LRU order: hot entries move to the back, eviction pops the front.
+        self._schema_cache: OrderedDict[
+            int, tuple[ast.Query, TableSchema, int]
+        ] = OrderedDict()
         # statement fingerprint (the hashable Query AST) -> (schema epoch,
         # CompiledQuery or None for statements the compiler declined)
         self._compiled_cache: OrderedDict[ast.Query, tuple[int, Any]] = (
@@ -212,13 +212,16 @@ class Executor:
     # -- schemas -----------------------------------------------------------------
 
     def _result_schema(self, query: ast.Query, scope: Scope) -> TableSchema:
+        # parse-cached statements reuse AST objects across executions, so
+        # a bound schema is only valid while the schema epoch stands
+        epoch = getattr(self._provider, "schema_epoch", 0)
         cache = self._schema_cache
         entry = cache.get(id(query))
-        if entry is not None and entry[0] is query:
+        if entry is not None and entry[0] is query and entry[2] == epoch:
             cache.move_to_end(id(query))
             return entry[1]
         schema = self._binder.bind_query(query, scope)
-        cache[id(query)] = (query, schema)
+        cache[id(query)] = (query, schema, epoch)
         if len(cache) > _SCHEMA_CACHE_LIMIT:
             # evict the least-recently-used binding only — a wholesale
             # clear() here caused a full rebind storm on mixed workloads

@@ -28,6 +28,7 @@ dot-commands::
     .checkpoint          flush pages + truncate the write-ahead log
     .wal                 WAL status (log size, commits, fsyncs, ...)
     .locks               lock-manager snapshot (grants, waiters, counters)
+    .replicas            replication status (role, attached replicas, lag)
     .transactions        MVCC snapshot registry (active snapshots, commit
                          sequence, GC backlog; needs mvcc=True)
     .help                this text
@@ -81,7 +82,9 @@ def execute_line(db: Database, statement: str, out=sys.stdout) -> None:
 def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
     """Handle a dot-command; returns False when the shell should exit."""
     parts = line.split()
-    command = parts[0]
+    # dot-commands match case-insensitively, like the language keywords
+    # (.QUIT behaves exactly like .quit — on the wire too)
+    command = parts[0].lower()
     if command in (".quit", ".exit"):
         return False
     if command == ".help":
@@ -317,6 +320,28 @@ def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
                 print(f"  {key}: {value}", file=out)
             if db.last_recovery is not None:
                 print(f"  last open: {db.last_recovery.summary()}", file=out)
+    elif command == ".replicas":
+        repl = db.replication
+        if repl is None:
+            print(
+                "no replication (serve with python -m repro.server; "
+                "replicas attach with --replica-of)",
+                file=out,
+            )
+        else:
+            rows = list(repl.replica_rows())
+            if not rows:
+                print(f"  role {repl.role}: no replicas attached", file=out)
+            for row in rows:
+                print(
+                    f"  [{row['ROLE']}] {row['PEER']} {row['STATE']}: "
+                    f"shipped seq {row['SHIPPED_SEQ']}, "
+                    f"applied seq {row['APPLIED_SEQ']}, "
+                    f"lag {row['LAG']} "
+                    f"({row['BATCHES']} batches, {row['PAGES']} pages, "
+                    f"{row['BYTES']} bytes)",
+                    file=out,
+                )
     elif command == ".locks":
         rows = db.locks.snapshot()
         if not rows:

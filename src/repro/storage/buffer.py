@@ -275,6 +275,23 @@ class BufferManager:
                 raise BufferError_(f"cannot drop pinned page {page_no}")
             self._frames.pop(page_no, None)
 
+    def invalidate(self, page_no: int) -> None:
+        """Discard the cached copy of one page after its backend bytes
+        were rewritten underneath the pool (replica apply redoes shipped
+        page images straight into the file).  An unpinned frame is simply
+        dropped; a pinned frame — the caller is expected to have excluded
+        readers, but stay safe — is refreshed in place so existing
+        :class:`~repro.storage.page.Page` views see the new bytes."""
+        with self._latch:
+            frame = self._frames.get(page_no)
+            if frame is None:
+                return
+            if frame.pin_count == 0:
+                self._frames.pop(page_no, None)
+            else:  # pragma: no cover - apply holds X locks; defensive
+                frame.buffer[:] = self._file.read_page(page_no)
+                frame.dirty = False
+
     def invalidate_cache(self) -> None:
         """Empty the pool (flushing dirty frames) — lets benchmarks measure
         cold-cache physical I/O."""

@@ -130,6 +130,12 @@ class WalManager:
         #: slip past a log that stopped recording — exactly like a real
         #: engine panicking when it cannot write its log.
         self.failure: Optional[BaseException] = None
+        #: log-shipping subscribers: callables ``(pages, catalog_state)``
+        #: invoked after every durable commit with the committed page
+        #: after-images ``[(page_no, image), ...]`` and the catalog
+        #: snapshot the COMMIT record carries.  The replication hub
+        #: registers here (see :mod:`repro.replication`).
+        self.shippers: list[Callable[[list, Any], None]] = []
         #: cumulative counters (mirrored into METRICS when enabled)
         self.records_appended = 0
         self.bytes_appended = 0
@@ -187,10 +193,13 @@ class WalManager:
         if self._txn is None:
             raise WalError("log_commit outside a WAL transaction")
         txn = self._txn
+        shipped: Optional[list] = [] if self.shippers else None
         for page_no in sorted(self._dirty):
             lsn = self._io.size
             image = get_image(page_no, lsn)
             self._append(REC_PAGE_IMAGE, txn, encode_page_image(page_no, image))
+            if shipped is not None:
+                shipped.append((page_no, image))
         self.last_commit_lsn = self._append(
             REC_COMMIT, txn, encode_catalog(catalog_state)
         )
@@ -200,6 +209,16 @@ class WalManager:
         self.commits += 1
         if METRICS.enabled:
             METRICS.inc("wal.commits")
+        if shipped is not None:
+            # ship the committed batch only after the fsync above: a
+            # replica must never apply state the primary could lose.  A
+            # failing subscriber must not fail the commit — the hub marks
+            # the dead link and the commit stands.
+            for shipper in list(self.shippers):
+                try:
+                    shipper(shipped, catalog_state)
+                except Exception:  # pragma: no cover - defensive
+                    pass
         return self._bytes_since_checkpoint >= self.auto_checkpoint_bytes
 
     def convert_abort(self) -> int:

@@ -75,6 +75,28 @@ class RecoveryResult:
         )
 
 
+def redo_page_image(file: PagedFile, page_no: int, image: bytes) -> bool:
+    """Install one logged after-image into *file* (the redo primitive).
+
+    Extends the file as needed, re-stamps the page checksum, and writes.
+    Returns True when the existing page failed its checksum (a torn write
+    the image just repaired).  Shared by crash recovery and by replica
+    apply (:mod:`repro.replication`), which redoes shipped commit batches
+    into the replica's own page file.
+    """
+    torn = False
+    if page_no < file.page_count:
+        current = file.read_page(page_no)
+        if not checksum_ok(current):
+            torn = True
+    while file.page_count <= page_no:
+        file.allocate_page()
+    buffer = bytearray(image)
+    stamp_checksum(buffer)
+    file.write_page(page_no, bytes(buffer))
+    return torn
+
+
 def recover(wal_path: str, file: PagedFile) -> Optional[RecoveryResult]:
     """Replay the WAL at *wal_path* into *file*; returns None when there is
     no log to recover from."""
@@ -115,15 +137,8 @@ def recover(wal_path: str, file: PagedFile) -> Optional[RecoveryResult]:
         if record.type != REC_PAGE_IMAGE or record.txn not in winners:
             continue
         page_no, image = decode_page_image(record.payload)
-        if page_no < file.page_count:
-            current = file.read_page(page_no)
-            if not checksum_ok(current):
-                result.torn_pages_repaired += 1
-        while file.page_count <= page_no:
-            file.allocate_page()
-        buffer = bytearray(image)
-        stamp_checksum(buffer)
-        file.write_page(page_no, bytes(buffer))
+        if redo_page_image(file, page_no, image):
+            result.torn_pages_repaired += 1
         result.pages_replayed += 1
 
     if result.pages_replayed:
