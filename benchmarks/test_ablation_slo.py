@@ -1,0 +1,325 @@
+"""Ablation A14 — the mixed-workload SLO gate.
+
+ROADMAP item 2 asks for a YCSB-style mixed workload that "reports
+p50/p99 ... and gates CI on SLO ceilings".  This benchmark drives four
+operation types at configurable ratios through the full statement
+pipeline — **point reads** (indexed key lookup), **nested navigation**
+(EXISTS over the PROJECTS/MEMBERS hierarchy), **text search** (CONTAINS
+through the fragment index), and **writes** (INSERT statements) — while
+the PR 10 time-series recorder samples the latency histograms in the
+background.
+
+Quantiles come from the histograms themselves (the interpolated
+``quantile_for`` per workload label), not from per-op stopwatch lists:
+what the gate enforces is exactly what ``SYS.METRICS_HISTORY`` and the
+SLO engine see in production.
+
+The **gate**: after the workload, a p99 latency SLO with ceiling
+``REPRO_SLO_P99_MS`` (default 250 ms/statement) and an error-budget SLO
+(``REPRO_SLO_ERROR_RATE``, default 0.999) are installed and evaluated
+over the recorded history; a FIRING alert fails the test.  A second arm
+proves the gate *bites*: an artificially impossible ceiling must fire
+and raise.  A third arm bounds the recorder's own cost: the workload
+with the recorder sampling at high frequency must stay within the
+``REPRO_OBS_MAX_OVERHEAD`` ceiling of the recorder-off run.
+
+Snapshot: ``benchmarks/out/BENCH_slo.json`` (per-mix p50/p99, ratios,
+gate verdicts) + a human-readable table.
+
+Scale knobs: ``REPRO_SLO_SCALE`` (departments, default 24),
+``REPRO_SLO_OPS`` (operations per workload run, default 400),
+``REPRO_SLO_MIX`` (default ``point=40,nav=25,search=20,write=15``).
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.database import Database
+from repro.datasets import DepartmentsGenerator, paper
+from repro.obs import LATENCY_BUCKETS_MS, METRICS, TRACER
+from repro.obs.slo import FIRING
+
+from _bench_utils import emit, emit_json
+
+SCALE = int(os.environ.get("REPRO_SLO_SCALE", "24"))
+OPS = int(os.environ.get("REPRO_SLO_OPS", "400"))
+#: per-statement p99 ceiling (ms) — the CI gate; generous by default
+#: because CI wall-clock is noisy, tighten locally to chase regressions
+P99_CEILING_MS = float(os.environ.get("REPRO_SLO_P99_MS", "250.0"))
+#: statement success objective (error budget = 1 - objective)
+ERROR_OBJECTIVE = float(os.environ.get("REPRO_SLO_ERROR_RATE", "0.999"))
+MAX_OVERHEAD = float(os.environ.get("REPRO_OBS_MAX_OVERHEAD", "1.5"))
+MIX_SPEC = os.environ.get(
+    "REPRO_SLO_MIX", "point=40,nav=25,search=20,write=15"
+)
+
+
+def parse_mix(spec: str) -> dict:
+    mix = {}
+    for part in spec.split(","):
+        name, _, weight = part.partition("=")
+        mix[name.strip()] = int(weight)
+    assert set(mix) == {"point", "nav", "search", "write"}, mix
+    return mix
+
+
+MIX = parse_mix(MIX_SPEC)
+
+_TITLE_WORDS = (
+    "Concurrency", "Recovery", "Clustering", "Hierarchies", "Relations",
+    "Indexing", "Buffering", "Compilation", "Replication", "Histograms",
+)
+
+
+def build() -> Database:
+    db = Database(buffer_capacity=2048)
+    generator = DepartmentsGenerator(
+        departments=SCALE, projects_per_department=3, members_per_project=4,
+        consultant_share=0.1, seed=1014,
+    )
+    db.create_table(paper.DEPARTMENTS_SCHEMA)
+    db.insert_many("DEPARTMENTS", generator.rows())
+    db.create_index("DN", "DEPARTMENTS", "DNO")
+    db.create_index("PN_HIER", "DEPARTMENTS", "PROJECTS.PNO")
+    # a searchable corpus: the paper's reports plus synthesized titles
+    db.create_table(paper.REPORTS_SCHEMA)
+    db.insert_many("REPORTS", paper.REPORTS_ROWS)
+    rng = random.Random(1014)
+    db.insert_many(
+        "REPORTS",
+        (
+            {
+                "REPNO": f"9{n:03d}",
+                "AUTHORS": [{"NAME": f"Author {n % 7}"}],
+                "TITLE": " ".join(rng.sample(_TITLE_WORDS, 3)),
+                "DESCRIPTORS": [],
+            }
+            for n in range(8 * SCALE)
+        ),
+    )
+    db.create_text_index("TX_TITLE", "REPORTS", "TITLE")
+    # the write target: an append-only flat event table
+    db.execute("CREATE TABLE EVENTS (SEQ INT, NOTE STRING)")
+    return db
+
+
+def make_schedule(rng: random.Random, ops: int) -> list:
+    """A shuffled operation tape honouring the MIX ratios exactly."""
+    total = sum(MIX.values())
+    tape = []
+    for name, weight in sorted(MIX.items()):
+        tape.extend([name] * round(ops * weight / total))
+    while len(tape) < ops:
+        tape.append("point")
+    rng.shuffle(tape)
+    return tape[:ops]
+
+
+def run_workload(db: Database, ops: int, seed: int) -> dict:
+    """Execute the mixed tape; per-op latencies land in the
+    ``bench.latency_ms`` histogram labelled by workload mix."""
+    rng = random.Random(seed)
+    hist = METRICS.histogram(
+        "bench.latency_ms", "mixed-workload per-operation latency (ms)",
+        buckets=LATENCY_BUCKETS_MS,
+    )
+    counts = {name: 0 for name in MIX}
+    seq = db.query("SELECT e.SEQ FROM e IN EVENTS").rows
+    next_seq = len(seq)
+    for op in make_schedule(rng, ops):
+        counts[op] += 1
+        if op == "point":
+            dno = 100 + rng.randrange(SCALE)
+            sql = (
+                "SELECT x.DNO, x.BUDGET, x.PROJECTS FROM x IN DEPARTMENTS "
+                f"WHERE x.DNO = {dno}"
+            )
+        elif op == "nav":
+            pno = rng.randrange(3 * SCALE)
+            sql = (
+                "SELECT x.DNO FROM x IN DEPARTMENTS "
+                f"WHERE EXISTS y IN x.PROJECTS (y.PNO = {pno} AND "
+                "EXISTS z IN y.MEMBERS z.FUNCTION = 'Consultant')"
+            )
+        elif op == "search":
+            word = rng.choice(_TITLE_WORDS)
+            sql = (
+                "SELECT x.REPNO FROM x IN REPORTS "
+                f"WHERE x.TITLE CONTAINS '*{word[:6].lower()}*'"
+            )
+        else:  # write
+            next_seq += 1
+            sql = f"INSERT INTO EVENTS VALUES ({next_seq}, 'op {op}')"
+        start = time.perf_counter()
+        db.execute(sql)
+        hist.observe((time.perf_counter() - start) * 1000.0, op=op)
+    return counts
+
+
+def histogram_quantiles(name: str, label: str, keys) -> dict:
+    """p50/p99 per label value, straight from the latency histogram."""
+    hist = METRICS.histogram(name)
+    out = {}
+    for key in keys:
+        out[key] = {
+            "p50_ms": hist.quantile_for({label: key}, 0.50),
+            "p99_ms": hist.quantile_for({label: key}, 0.99),
+        }
+    return out
+
+
+def slo_gate(db: Database, p99_ceiling_ms: float, error_objective: float):
+    """Install the gate SLOs over the recorded history and evaluate;
+    raises AssertionError when an objective fires.  Returns the verdict
+    rows for the artifact."""
+    window = (3600.0,)  # one window spanning the whole workload run
+    db.slo.define(
+        name="gate-p99", kind="latency", metric="query.latency_ms",
+        quantile=0.99, ceiling=p99_ceiling_ms, windows=window, for_ms=0.0,
+    )
+    db.slo.define(
+        name="gate-errors", kind="error_rate", metric="query.errors",
+        total_metric="query.statements", objective=error_objective,
+        windows=window, for_ms=0.0,
+    )
+    db.ts.sample_once()  # final sample: evaluates both objectives
+    verdicts = {}
+    failures = []
+    for name in ("gate-p99", "gate-errors"):
+        state = db.slo.alert_state(name)
+        value = db.slo._alerts[name].last_value
+        verdicts[name] = {"state": state, "value": value}
+        if state == FIRING:
+            failures.append(f"{name}: value {value} (state {state})")
+    if failures:
+        raise AssertionError(
+            "SLO gate breached — " + "; ".join(failures)
+            + f" (ceiling {p99_ceiling_ms} ms, objective {error_objective})"
+        )
+    return verdicts
+
+
+def test_mixed_workload_slo_gate(benchmark):
+    assert not TRACER.enabled
+    db = build()
+    was_enabled = METRICS.enabled
+    METRICS.enable()
+    try:
+        db.ts.sample_once()  # pre-workload baseline sample
+        db.ts.period_ms = 50.0
+        db.ts.start()  # the recorder rides along, as in --monitor serving
+        try:
+            counts = run_workload(db, OPS, seed=2024)
+        finally:
+            db.ts.stop()
+        db.ts.sample_once()
+
+        per_mix = histogram_quantiles("bench.latency_ms", "op", sorted(MIX))
+        per_kind = histogram_quantiles(
+            "query.latency_ms", "kind", ("SELECT", "INSERT")
+        )
+        errors = db.ts.windowed_delta("query.errors", {}, 3600.0) or 0.0
+        statements = db.ts.windowed_delta("query.statements", {}, 3600.0)
+
+        # the real gate: pinned ceilings from the environment
+        verdicts = slo_gate(db, P99_CEILING_MS, ERROR_OBJECTIVE)
+
+        # prove the gate bites: an impossible ceiling must fire + raise
+        with pytest.raises(AssertionError, match="SLO gate breached"):
+            slo_gate(db, 1e-9, ERROR_OBJECTIVE)
+        db.slo.remove("gate-p99")
+        db.slo.remove("gate-errors")
+
+        history_rows = sum(1 for _ in db.ts.series_rows())
+
+        # recorder-overhead arm: same read tape with the recorder off vs
+        # sampling aggressively (metrics stay on in both)
+        baseline = time.perf_counter()
+        _read_tape(db, 120, seed=7)
+        baseline = time.perf_counter() - baseline
+        db.ts.period_ms = 5.0
+        db.ts.start()
+        try:
+            sampled = time.perf_counter()
+            _read_tape(db, 120, seed=7)
+            sampled = time.perf_counter() - sampled
+        finally:
+            db.ts.stop()
+        recorder_overhead = sampled / baseline - 1.0
+    finally:
+        METRICS.enabled = was_enabled
+        db.close()
+
+    payload = {
+        "scale": SCALE,
+        "ops": OPS,
+        "mix": MIX,
+        "op_counts": counts,
+        "per_mix_quantiles": per_mix,
+        "per_kind_quantiles": per_kind,
+        "statements": statements,
+        "errors": errors,
+        "p99_ceiling_ms": P99_CEILING_MS,
+        "error_objective": ERROR_OBJECTIVE,
+        "gate_verdicts": verdicts,
+        "history_series_rows": history_rows,
+        "recorder_overhead_ratio": recorder_overhead,
+        "max_overhead": MAX_OVERHEAD,
+    }
+    emit_json("BENCH_slo", payload)
+
+    lines = [f"{'workload':<10} {'ops':>5} {'p50 ms':>9} {'p99 ms':>9}"]
+    for name in sorted(MIX):
+        q = per_mix[name]
+        p50 = q["p50_ms"] or 0.0
+        p99 = q["p99_ms"] or 0.0
+        lines.append(f"{name:<10} {counts[name]:>5} {p50:>9.3f} {p99:>9.3f}")
+    lines.append("")
+    for kind in ("SELECT", "INSERT"):
+        q = per_kind[kind]
+        if q["p99_ms"] is not None:
+            lines.append(
+                f"statement {kind:<7} p50 {q['p50_ms']:.3f} ms  "
+                f"p99 {q['p99_ms']:.3f} ms"
+            )
+    lines.append(
+        f"\ngate: p99 <= {P99_CEILING_MS:g} ms "
+        f"[{verdicts['gate-p99']['state']}], error budget "
+        f"{1 - ERROR_OBJECTIVE:g} [{verdicts['gate-errors']['state']}]; "
+        f"{statements:g} statements, {errors:g} errors; "
+        f"{history_rows} history series; recorder overhead "
+        f"{recorder_overhead:+.1%} (ceiling {MAX_OVERHEAD:+.0%})"
+    )
+    emit("BENCH_slo", "\n".join(lines))
+
+    assert verdicts["gate-p99"]["state"] != FIRING
+    assert verdicts["gate-errors"]["state"] != FIRING
+    assert statements and statements >= OPS
+    assert recorder_overhead <= MAX_OVERHEAD, (
+        f"recorder-on run is {recorder_overhead:+.1%} slower than "
+        f"recorder-off (ceiling {MAX_OVERHEAD:+.1%}) — background "
+        "sampling got too expensive"
+    )
+
+    # pytest-benchmark record for trend tracking: the dominant op (a
+    # point read) on a fresh database with the registry disabled
+    db = build()
+    sql = (
+        "SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS "
+        f"WHERE x.DNO = {100 + SCALE // 2}"
+    )
+    try:
+        benchmark(db.query, sql)
+    finally:
+        db.close()
+
+
+def _read_tape(db: Database, ops: int, seed: int) -> None:
+    rng = random.Random(seed)
+    for _ in range(ops):
+        dno = 100 + rng.randrange(SCALE)
+        db.query(f"SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS "
+                 f"WHERE x.DNO = {dno}")

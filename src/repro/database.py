@@ -58,6 +58,8 @@ from repro.obs import METRICS, Span, TRACER, WAITS
 from repro.obs.ash import ActiveSessionHistory
 from repro.obs.metrics import LATENCY_BUCKETS_MS
 from repro.obs.querylog import QueryLog, QueryRecord
+from repro.obs.slo import SloEngine
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.sysviews import is_sys_table, iterate_sys_view, sys_view_schema
 from repro.query import ast
 from repro.query.executor import Executor
@@ -133,6 +135,12 @@ class Database:
         #: active-session-history sampler (SYS.ASH); constructed idle —
         #: call ``db.ash.start()`` to spawn the sampling thread
         self.ash = ActiveSessionHistory(self)
+        #: metric time-series recorder (SYS.METRICS_HISTORY); constructed
+        #: idle like the ASH sampler — ``db.ts.start()`` spawns the thread
+        self.ts = TimeSeriesRecorder(self)
+        #: SLO objectives + burn-rate alert state (SYS.SLOS / SYS.ALERTS);
+        #: evaluated on the recorder's clock once objectives are defined
+        self.slo = SloEngine(self)
         #: live sessions, weakly referenced (SYS.SESSIONS reads it)
         self._sessions: "weakref.WeakSet" = weakref.WeakSet()
         self._sessions_latch = threading.Lock()
@@ -1173,6 +1181,10 @@ class Database:
                 "statement latency, parse through execution (milliseconds)",
                 buckets=LATENCY_BUCKETS_MS,
             ).observe(latency_ms, kind=kind, table=tables[0] if tables else "-")
+            # success/error counters feed the error-budget SLOs
+            METRICS.inc("query.statements", kind=kind)
+            if error is not None:
+                METRICS.inc("query.errors", kind=kind)
         counters = METRICS.delta(before) if before is not None else {}
         session = self._session()
         if session is not None and waits:
@@ -2403,6 +2415,9 @@ class Database:
         self.buffer.flush_all()
 
     def close(self) -> None:
+        # stop both samplers first: no repro-* thread survives a closed
+        # database (a leaked recorder would sample freed engine state)
+        self.ts.stop()
         self.ash.stop()
         if self.replication is not None:
             self.replication.shutdown()

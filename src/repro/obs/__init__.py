@@ -39,6 +39,8 @@ from repro.obs.metrics import (
 )
 from repro.obs.promtext import render_prometheus
 from repro.obs.querylog import QueryLog, QueryRecord, fingerprint
+from repro.obs.slo import AlertEvent, SloEngine, SloObjective, render_health
+from repro.obs.timeseries import TIER_FACTORS, TimeSeriesRecorder, TsSample
 from repro.obs.trace import (
     Span,
     TRACER,
@@ -51,6 +53,7 @@ from repro.obs.trace import (
 from repro.obs.waits import WAITS, WaitRegistry, lock_event, wait_event
 
 __all__ = [
+    "AlertEvent",
     "Counter",
     "Gauge",
     "Histogram",
@@ -59,10 +62,15 @@ __all__ = [
     "MetricsRegistry",
     "QueryLog",
     "QueryRecord",
+    "SloEngine",
+    "SloObjective",
     "Span",
+    "TIER_FACTORS",
     "TRACER",
+    "TimeSeriesRecorder",
     "Trace",
     "Tracer",
+    "TsSample",
     "WAITS",
     "WaitRegistry",
     "chrome_trace_json",
@@ -73,6 +81,7 @@ __all__ = [
     "new_trace_id",
     "parse_trace_id",
     "profiled",
+    "render_health",
     "render_prometheus",
     "wait_event",
 ]

@@ -26,6 +26,7 @@ each counter reproduces).
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Iterable, Optional
 
@@ -132,6 +133,55 @@ DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
 LATENCY_BUCKETS_MS = (
     0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
 )
+
+
+def interpolated_quantile(
+    bounds: Iterable[float],
+    bucket_counts: Iterable[int],
+    count: int,
+    low: Optional[float],
+    high: Optional[float],
+    q: float,
+) -> Optional[float]:
+    """Linearly interpolated quantile from fixed-bucket counts.
+
+    The covering bucket is located by cumulative count, then the value is
+    interpolated linearly inside it (Prometheus ``histogram_quantile``
+    style) instead of snapping to the bucket's upper bound — an SLO gate
+    comparing p99 against a ceiling must not be quantized to bucket
+    edges.  The overflow bucket interpolates between the last finite
+    bound and the observed maximum, and the result is clamped to the
+    observed ``[low, high]`` envelope, so no quantile is ever ``inf``.
+
+    Shared by :meth:`Histogram.quantile`, :meth:`Histogram.quantile_for`,
+    and the windowed (bucket-delta) quantiles of
+    :mod:`repro.obs.timeseries`.
+    """
+    if not count:
+        return None
+    target = q * count
+    upper_bounds = list(bounds) + [high if high is not None else math.inf]
+    value: Optional[float] = high
+    cumulative = 0
+    previous = 0.0
+    for upper, bucket_count in zip(upper_bounds, bucket_counts):
+        if bucket_count:
+            cumulative += bucket_count
+            if cumulative >= target:
+                fraction = (target - (cumulative - bucket_count)) / bucket_count
+                if math.isinf(upper):  # overflow with no recorded max
+                    value = previous
+                else:
+                    value = previous + fraction * (upper - previous)
+                break
+        previous = upper if not math.isinf(upper) else previous
+    if value is None:
+        return None
+    if low is not None:
+        value = max(value, low)
+    if high is not None:
+        value = min(value, high)
+    return float(value)
 
 
 class _HistogramSeries:
@@ -258,20 +308,36 @@ class Histogram:
         }
 
     def quantile(self, q: float) -> Optional[float]:
-        """Bucket-resolution quantile across all series: the smallest
-        bucket upper bound covering at least ``q`` of the observations
-        (``inf`` when the quantile falls in the overflow bucket)."""
+        """Interpolated quantile across **all** labeled series combined.
+
+        Linear interpolation inside the covering bucket; the overflow
+        bucket is clamped to the observed maximum instead of reporting
+        ``inf`` (see :func:`interpolated_quantile`)."""
         combined = self.combined()
-        count = combined["count"]
-        if not count:
-            return None
-        target = q * count
-        cumulative = 0
-        for bound, bucket_count in zip(self.buckets, combined["bucket_counts"]):
-            cumulative += bucket_count
-            if cumulative >= target:
-                return float(bound)
-        return float("inf")
+        return interpolated_quantile(
+            self.buckets,
+            combined["bucket_counts"],
+            combined["count"],
+            combined["min"],
+            combined["max"],
+            q,
+        )
+
+    def quantile_for(self, labels: dict, q: float) -> Optional[float]:
+        """Interpolated quantile of **one** labeled series (``None`` when
+        the series does not exist) — SLO objectives target a single
+        series (e.g. ``kind=SELECT``), not the combined view."""
+        with self._lock:
+            series = self._series.get(_label_key(labels or {}))
+            if series is None:
+                return None
+            bucket_counts = list(series.bucket_counts)
+            count = series.count
+            low = series.min
+            high = series.max
+        return interpolated_quantile(
+            self.buckets, bucket_counts, count, low, high, q
+        )
 
     def reset(self) -> None:
         with self._lock:

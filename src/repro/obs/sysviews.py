@@ -39,6 +39,15 @@ Views (query them like any table, e.g. ``FROM m IN SYS.METRICS``):
                           snapshot with its axis, read point, isolation,
                           and the manager's commit/GC state (zero rows for
                           databases opened without ``mvcc=True``)
+``SYS.METRICS_HISTORY``   the time-series recorder's rings: one row per
+                          (metric series × resolution tier) with a nested
+                          ``SAMPLES`` subtable of timestamped values,
+                          deltas, and per-second rates
+``SYS.SLOS``              the SLO engine's objectives: declared ceiling /
+                          error budget, last measured value and burn rate,
+                          alert state, and a per-window ``WINDOWS`` subtable
+``SYS.ALERTS``            alert state-machine transition history (OK →
+                          PENDING → FIRING → RESOLVED), newest last
 ========================  ====================================================
 
 The views are read-only (DML and DDL against ``SYS.*`` is rejected) and
@@ -73,6 +82,9 @@ SYS_VIEW_NAMES = (
     "TRACES",
     "SPANS",
     "TRANSACTIONS",
+    "METRICS_HISTORY",
+    "SLOS",
+    "ALERTS",
 )
 
 
@@ -293,6 +305,70 @@ TRANSACTIONS_SCHEMA = table(
     atomic("LAST_WAL_LSN", "INT"),  # byte LSN of the latest COMMIT record
 )
 
+_TS_SAMPLES = list_of(
+    "SAMPLES",
+    atomic("TS", "FLOAT"),          # epoch seconds at sample time
+    atomic("VALUE", "FLOAT"),       # cumulative total / gauge level / count
+    atomic("DELTA", "FLOAT"),       # movement since the tier's previous sample
+    atomic("RATE", "FLOAT"),        # delta per second
+    atomic("AVG", "FLOAT"),         # histogram-only: mean value in the interval
+)
+
+METRICS_HISTORY_SCHEMA = table(
+    "SYS_METRICS_HISTORY",
+    atomic("NAME", "STRING"),
+    atomic("KIND", "STRING"),       # counter | gauge | histogram
+    nested("LABELS", _LABELS),
+    atomic("TIER", "STRING"),       # resolution label, e.g. 1s / 10s / 60s
+    atomic("RESOLUTION_S", "FLOAT"),
+    atomic("POINTS", "INT"),        # samples currently retained in the ring
+    atomic("LAST_TS", "FLOAT"),
+    atomic("LAST_VALUE", "FLOAT"),
+    atomic("LAST_RATE", "FLOAT"),
+    nested("SAMPLES", _TS_SAMPLES),
+)
+
+_SLO_WINDOWS = list_of(
+    "WINDOWS",
+    atomic("WINDOW_S", "FLOAT"),    # sliding-window length
+    atomic("VALUE", "FLOAT"),       # measured value over this window
+    atomic("BURN_RATE", "FLOAT"),   # value / ceiling, or error-budget burn
+    atomic("BREACHED", "BOOL"),
+)
+
+SLOS_SCHEMA = table(
+    "SYS_SLOS",
+    atomic("NAME", "STRING"),
+    atomic("KIND", "STRING"),       # latency | error_rate | gauge
+    atomic("METRIC", "STRING"),
+    nested("LABELS", _LABELS),
+    atomic("QUANTILE", "FLOAT"),    # latency SLOs: which quantile
+    atomic("CEILING", "FLOAT"),     # latency/gauge SLOs: the limit
+    atomic("OBJECTIVE", "FLOAT"),   # error-rate SLOs: success target
+    atomic("BUDGET", "FLOAT"),      # 1 - OBJECTIVE
+    atomic("FOR_MS", "FLOAT"),      # PENDING → FIRING debounce
+    atomic("VALUE", "FLOAT"),       # last measured (primary window)
+    atomic("BURN_RATE", "FLOAT"),
+    atomic("STATE", "STRING"),      # OK | PENDING | FIRING | RESOLVED
+    atomic("SINCE", "FLOAT"),       # when the current state was entered
+    atomic("FIRED", "INT"),         # lifetime FIRING transitions
+    atomic("DESCRIPTION", "STRING"),
+    nested("WINDOWS", _SLO_WINDOWS),
+)
+
+ALERTS_SCHEMA = table(
+    "SYS_ALERTS",
+    atomic("SEQ", "INT"),           # monotonically increasing event number
+    atomic("TS", "FLOAT"),          # epoch seconds of the transition
+    atomic("SLO", "STRING"),        # resolves into SYS.SLOS
+    atomic("FROM_STATE", "STRING"),
+    atomic("TO_STATE", "STRING"),
+    atomic("VALUE", "FLOAT"),       # measured value at transition time
+    atomic("THRESHOLD", "FLOAT"),
+    atomic("BURN_RATE", "FLOAT"),
+    atomic("MESSAGE", "STRING"),
+)
+
 _SCHEMAS: dict[str, TableSchema] = {
     "METRICS": METRICS_SCHEMA,
     "SESSIONS": SESSIONS_SCHEMA,
@@ -306,6 +382,9 @@ _SCHEMAS: dict[str, TableSchema] = {
     "TRACES": TRACES_SCHEMA,
     "SPANS": SPANS_SCHEMA,
     "TRANSACTIONS": TRANSACTIONS_SCHEMA,
+    "METRICS_HISTORY": METRICS_HISTORY_SCHEMA,
+    "SLOS": SLOS_SCHEMA,
+    "ALERTS": ALERTS_SCHEMA,
 }
 
 
@@ -633,6 +712,18 @@ def _transaction_rows(db: "Database") -> Iterator[dict]:
         }
 
 
+def _metrics_history_rows(db: "Database") -> Iterator[dict]:
+    yield from db.ts.series_rows()
+
+
+def _slo_rows(db: "Database") -> Iterator[dict]:
+    yield from db.slo.slo_rows()
+
+
+def _alert_rows(db: "Database") -> Iterator[dict]:
+    yield from db.slo.alert_rows()
+
+
 _PRODUCERS = {
     "METRICS": _metric_rows,
     "SESSIONS": _session_rows,
@@ -646,4 +737,7 @@ _PRODUCERS = {
     "TRACES": _trace_rows,
     "SPANS": _span_rows,
     "TRANSACTIONS": _transaction_rows,
+    "METRICS_HISTORY": _metrics_history_rows,
+    "SLOS": _slo_rows,
+    "ALERTS": _alert_rows,
 }

@@ -145,6 +145,12 @@ def process_statement(
     elif upper == "METRICS":
         # the scrape verb: Prometheus text exposition
         out.write(METRICS.to_prometheus())
+    elif upper == "HEALTH":
+        # the readiness probe: first line is "health: ok|pending|alerting";
+        # orchestration gates replica promotion / traffic on it
+        from repro.obs.slo import render_health
+
+        out.write(render_health(db))
     elif upper == "PROMOTE":
         from repro.replication import promote
 
@@ -761,6 +767,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--queue", type=int, default=128,
                         help="async engine: admission-control bound on "
                              "outstanding statements (default 128)")
+    parser.add_argument("--monitor", action="store_true",
+                        help="start the metric time-series recorder and "
+                             "install the default SLO objectives "
+                             "(REPRO_SLO_* env knobs); HEALTH reports "
+                             "burn-rate alert state")
     args = parser.parse_args(argv)
 
     if args.replica_of:
@@ -777,6 +788,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.shell import run_script
 
         run_script(db, args.init, out=sys.stderr)
+    if args.monitor:
+        METRICS.enable()
+        db.slo.install_default_objectives()
+        db.ts.start()
     if args.threaded:
         server: "DatabaseServer | AsyncDatabaseServer" = DatabaseServer(
             db, host=args.host, port=args.port

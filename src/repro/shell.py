@@ -31,6 +31,10 @@ dot-commands::
     .replicas            replication status (role, attached replicas, lag)
     .transactions        MVCC snapshot registry (active snapshots, commit
                          sequence, GC backlog; needs mvcc=True)
+    .health              SLO health summary (ok | pending | alerting +
+                         firing alerts; the shell's HEALTH probe)
+    .alerts [eval]       SLO objectives with state + recent alert
+                         transitions ('eval' forces an evaluation first)
     .help                this text
     .quit                leave
 
@@ -350,6 +354,40 @@ def dot_command(db: Database, line: str, out=sys.stdout) -> bool:
             print(f"  {info.describe()}", file=out)
         for key, value in db.locks.stats().items():
             print(f"  {key}: {value}", file=out)
+    elif command == ".health":
+        out.write(obs.render_health(db))
+    elif command == ".alerts":
+        arg = parts[1].lower() if len(parts) > 1 else None
+        if arg == "eval":
+            events = db.slo.evaluate()
+            print(f"evaluated {len(db.slo.objectives)} objectives, "
+                  f"{len(events)} transitions", file=out)
+        if not db.slo.objectives:
+            print(
+                "  no SLO objectives (db.slo.define(...) or serve with "
+                "--monitor installs them)",
+                file=out,
+            )
+        for row in db.slo.slo_rows():
+            value = "-" if row["VALUE"] is None else f"{row['VALUE']:g}"
+            burn = (
+                ""
+                if row["BURN_RATE"] is None
+                else f"  burn {row['BURN_RATE']:.2f}x"
+            )
+            print(
+                f"  [{row['STATE']:<8}] {row['NAME']} ({row['KIND']}): "
+                f"value {value}{burn}",
+                file=out,
+            )
+        events = list(db.slo.alert_rows())
+        for event in events[-10:]:
+            print(
+                f"  #{event['SEQ']} {event['SLO']}: "
+                f"{event['FROM_STATE']} -> {event['TO_STATE']} "
+                f"— {event['MESSAGE']}",
+                file=out,
+            )
     elif command == ".transactions":
         if db.mvcc is None:
             print("no MVCC (database opened without mvcc=True)", file=out)

@@ -511,9 +511,14 @@ def test_histogram_combined_and_quantile():
     assert combined["sum"] == 105
     assert combined["min"] == 1
     assert combined["max"] == 100
-    assert histogram.quantile(0.5) == 2.0
-    assert histogram.quantile(0.95) == float("inf")
+    # interpolated: q=0.5 lands mid-bucket (1, 2]; q=0.95 falls in the
+    # overflow bucket, clamped to the observed max instead of inf
+    assert histogram.quantile(0.5) == 1.5
+    assert histogram.quantile(0.95) == pytest.approx(81.0)
     assert registry.histogram("empty").quantile(0.5) is None
+    # per-label quantile targets one series only
+    assert histogram.quantile_for({"kind": "a"}, 1.0) == 2.0
+    assert histogram.quantile_for({"kind": "missing"}, 0.5) is None
 
 
 def test_shell_stats_queries_and_metrics(capsys):
